@@ -1,0 +1,29 @@
+.PHONY: install test bench bench-show report examples clean
+
+install:
+	pip install -e '.[dev]' --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-show:
+	pytest benchmarks/ --benchmark-only -s
+
+report:
+	python -m repro report --out results
+
+examples:
+	python examples/quickstart.py
+	python examples/protocol_trace.py
+	python examples/speedup_sweep.py
+	python examples/breakdown_report.py
+	python examples/bert_finetune.py
+	python examples/lammps_melt.py
+	python examples/tune_activation.py
+
+clean:
+	rm -rf results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,21 @@
+"""Bench ablation — the dirty_bytes knob (volume/speed vs accuracy)."""
+
+from repro.experiments.ablation_dirty_bytes import (
+    render_dirty_bytes,
+    run_dirty_bytes_ablation,
+)
+
+
+def test_dirty_bytes_ablation(run_once, benchmark):
+    rows = run_once(run_dirty_bytes_ablation, n_steps=60)
+    print()
+    print(render_dirty_bytes(rows))
+    benchmark.extra_info["rows"] = rows
+    by = {r["dirty_bytes"]: r for r in rows}
+    # Fewer dirty bytes -> less wire volume, monotonically.
+    volumes = [by[db]["wire_bytes"] for db in (1, 2, 3, 4)]
+    assert volumes == sorted(volumes)
+    # dirty_bytes=4 is numerically exact (no delta vs baseline).
+    assert abs(by[4]["perplexity_delta"]) < 1e-6
+    # dirty_bytes=1 is the most aggressive approximation.
+    assert abs(by[1]["perplexity_delta"]) >= abs(by[2]["perplexity_delta"]) - 0.05

@@ -1,0 +1,17 @@
+"""Bench ablation — DPU vs TECO across batch sizes (Section II-A)."""
+
+from repro.experiments.ablation_dpu import (
+    dpu_requires_large_batch,
+    render_dpu_ablation,
+    run_dpu_ablation,
+)
+
+
+def test_dpu_ablation(run_once, benchmark):
+    rows = run_once(run_dpu_ablation)
+    print()
+    print(render_dpu_ablation(rows))
+    benchmark.extra_info["rows"] = rows
+    assert dpu_requires_large_batch(rows)
+    # At batch 1 TECO clearly beats the DPU-enabled baseline.
+    assert rows[0]["teco_speedup"] > rows[0]["dpu_speedup"] + 0.1

@@ -1,0 +1,25 @@
+"""Bench ablation — transfer granularity (coarse vs cache-line streams)."""
+
+from repro.experiments.ablation_granularity import (
+    render_granularity,
+    run_buffer_granularity,
+    run_stream_granularity,
+)
+
+
+def test_granularity_ablation(run_once, benchmark):
+    stream_rows = run_once(run_stream_granularity)
+    buffer_rows = run_buffer_granularity()
+    print()
+    print(render_granularity(buffer_rows, stream_rows))
+    benchmark.extra_info["stream"] = [
+        {k: r[k] for k in ("granularity", "exposed", "overlap")}
+        for r in stream_rows
+    ]
+    fine = stream_rows[0]
+    coarse = stream_rows[-1]
+    # The paper's core insight: fine-grained streaming overlaps, the
+    # whole-tensor transfer exposes everything.
+    assert fine["overlap"] > 0.5
+    assert coarse["overlap"] < 0.05
+    assert fine["exposed"] < 0.5 * coarse["exposed"]

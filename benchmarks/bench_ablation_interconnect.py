@@ -1,0 +1,17 @@
+"""Bench ablation — PCIe generation sensitivity."""
+
+from repro.experiments.ablation_interconnect import (
+    render_interconnect,
+    run_interconnect_ablation,
+)
+
+
+def test_interconnect_ablation(run_once, benchmark):
+    rows = run_once(run_interconnect_ablation)
+    print()
+    print(render_interconnect(rows))
+    benchmark.extra_info["rows"] = rows
+    speedups = [r["speedup"] for r in rows]
+    # Faster links shrink TECO's advantage but never erase it.
+    assert speedups == sorted(speedups, reverse=True)
+    assert speedups[-1] > 1.05

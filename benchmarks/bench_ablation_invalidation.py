@@ -1,0 +1,11 @@
+"""Bench E-INV — invalidation vs update coherence (Section IV-A2)."""
+
+from repro.experiments import ablation_invalidation as abl
+
+
+def test_invalidation_ablation(run_once, benchmark):
+    rows = run_once(abl.run_invalidation_ablation)
+    print()
+    print(abl.render_ablation(rows))
+    benchmark.extra_info["average_slowdown"] = abl.average_slowdown(rows)
+    assert all(r["slowdown"] > 0 for r in rows)

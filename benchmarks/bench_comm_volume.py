@@ -1,0 +1,12 @@
+"""Bench E-C — regenerate Section VIII-C (communication volume / DBA)."""
+
+from repro.experiments import comm_volume as cv
+
+
+def test_comm_volume(run_once, benchmark):
+    rows = run_once(cv.run_comm_volume)
+    print()
+    print(cv.render_comm_volume(rows))
+    avg = cv.average(rows, "comm_overhead_reduction")
+    benchmark.extra_info["avg_overhead_reduction"] = avg
+    assert avg > 0.85

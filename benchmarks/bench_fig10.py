@@ -1,0 +1,48 @@
+"""Bench E-F10 — regenerate Figure 10 (loss curves with/without DBA).
+
+The paper shows two panels: GPT-2 and Albert ("Figure 10 only shows
+GPT-2 and Albert because of space limitation").
+"""
+
+from repro.experiments import fig10
+from repro.utils.plots import ascii_line_chart
+
+
+def test_fig10_gpt2(run_once, benchmark):
+    result = run_once(fig10.run_fig10, n_steps=100, act_aft_steps=25)
+    print()
+    print(
+        ascii_line_chart(
+            {
+                "original": result.smoothed(result.baseline_curve),
+                "TECO-Reduction": result.smoothed(result.teco_curve),
+            },
+            title=(
+                "Figure 10(a) GPT-2 — training loss (smoothed; DBA from "
+                f"step {result.act_aft_steps})"
+            ),
+        )
+    )
+    benchmark.extra_info["final_gap"] = result.final_gap
+    assert result.same_trend
+
+
+def test_fig10_albert(benchmark):
+    result = benchmark.pedantic(
+        fig10.run_fig10_albert,
+        kwargs=dict(n_steps=100, act_aft_steps=25),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        ascii_line_chart(
+            {
+                "original": result.smoothed(result.baseline_curve),
+                "TECO-Reduction": result.smoothed(result.teco_curve),
+            },
+            title="Figure 10(b) Albert — training loss (smoothed)",
+        )
+    )
+    benchmark.extra_info["final_gap"] = result.final_gap
+    assert result.same_trend

@@ -1,0 +1,26 @@
+"""Bench E-F11/T4 — regenerate Figure 11 + Table IV (speedups)."""
+
+from repro.experiments import fig11_table4 as f11
+from repro.utils.plots import ascii_bar_chart
+
+
+def test_fig11_table4(run_once, benchmark):
+    rows = run_once(f11.run_fig11_table4)
+    print()
+    print(f11.render_speedups(rows))
+    batch4 = [r for r in rows if r["batch"] == 4 and not r.get("oom")]
+    print()
+    print(
+        ascii_bar_chart(
+            [r["model"] for r in batch4],
+            [r["reduction_speedup"] for r in batch4],
+            unit="x",
+            title="Figure 11 (batch 4) — TECO-Reduction speedup",
+        )
+    )
+    benchmark.extra_info["rows"] = [
+        {k: r[k] for k in ("model", "batch", "cxl_speedup", "reduction_speedup")}
+        for r in rows
+    ]
+    measured = [r for r in rows if not r.get("oom")]
+    assert all(1.0 < r["reduction_speedup"] < 2.1 for r in measured)

@@ -1,0 +1,14 @@
+"""Bench E-F12 — regenerate Figure 12 (T5-large time breakdown)."""
+
+from repro.experiments import fig12
+
+
+def test_fig12(run_once, benchmark):
+    rows = run_once(fig12.run_fig12)
+    print()
+    print(fig12.render_fig12(rows))
+    benchmark.extra_info["rows"] = [
+        {k: r[k] for k in ("system", "batch", "total")} for r in rows
+    ]
+    by = {(r["system"], r["batch"]): r for r in rows}
+    assert by[("teco-reduction", 4)]["total"] < by[("zero-offload", 4)]["total"]

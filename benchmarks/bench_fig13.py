@@ -1,0 +1,25 @@
+"""Bench E-F13 — regenerate Figure 13 (DBA activation sweep)."""
+
+from repro.experiments import fig13
+from repro.utils.plots import ascii_line_chart
+
+
+def test_fig13(run_once, benchmark):
+    rows = run_once(fig13.run_fig13, sweep=(0, 20, 40, 80, 120), total_steps=120)
+    print()
+    print(fig13.render_fig13(rows))
+    print()
+    print(
+        ascii_line_chart(
+            {
+                "perplexity (proxy)": [r["perplexity"] for r in rows],
+                "speedup x10": [r["speedup"] * 10 for r in rows],
+            },
+            width=40,
+            height=10,
+            title="Figure 13 — the accuracy/speedup trade-off",
+        )
+    )
+    benchmark.extra_info["rows"] = rows
+    speedups = [r["speedup"] for r in rows]
+    assert speedups == sorted(speedups, reverse=True)

@@ -1,0 +1,48 @@
+"""Bench E-F2 — regenerate Figure 2 (value-changed byte distribution)."""
+
+from repro.experiments import fig2
+from repro.utils.tables import format_table
+
+
+def test_fig2(run_once, benchmark):
+    mid = run_once(fig2.run_fig2, n_steps=40, lr=fig2.MID_TRAINING_LR)
+    near = fig2.run_fig2(n_steps=40, lr=fig2.NEAR_CONVERGENCE_LR)
+
+    def row(label, means):
+        return (
+            label,
+            f"{means['last_byte']:.0%}",
+            f"{means['last_two_bytes']:.0%}",
+            f"{means['other']:.0%}",
+        )
+
+    print()
+    print(
+        format_table(
+            ["tensor / regime", "last byte", "last 2 bytes", "other"],
+            [
+                row("params, mid-training", mid.param_means),
+                row("params, near convergence", near.param_means),
+                row("gradients", mid.grad_means),
+            ],
+            title=(
+                "Figure 2 — value-changed bytes "
+                "(paper: params ~80% last byte near convergence; "
+                "gradients change all bytes)"
+            ),
+        )
+    )
+    benchmark.extra_info["param_means_mid"] = mid.param_means
+    benchmark.extra_info["param_means_near"] = near.param_means
+    benchmark.extra_info["grad_means"] = mid.grad_means
+    # Observation 2: low-two-byte dominance in both regimes.
+    for result in (mid, near):
+        low2 = (
+            result.param_means["last_byte"]
+            + result.param_means["last_two_bytes"]
+        )
+        assert low2 > 0.6
+    # Near convergence, the last byte alone dominates (paper's ~80%).
+    assert near.param_means["last_byte"] > 0.6
+    # Gradients have no low-byte pattern (Figure 2(b)).
+    assert mid.grad_means["other"] > 0.5

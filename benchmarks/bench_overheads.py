@@ -1,0 +1,11 @@
+"""Bench E-HW — regenerate Section VIII-D (hardware + DRAM overheads)."""
+
+from repro.experiments import overheads
+
+
+def test_overheads(run_once, benchmark):
+    dram = run_once(overheads.run_dram_overhead)
+    print()
+    print(overheads.render_overheads())
+    benchmark.extra_info["dram"] = dram
+    assert dram["sequential"] > dram["shuffled"] > 1.0

@@ -1,0 +1,11 @@
+"""Bench extension — data-parallel scaling at fixed global batch."""
+
+from repro.experiments.scaling import render_scaling, run_scaling
+
+
+def test_scaling(run_once, benchmark):
+    rows = run_once(run_scaling)
+    print()
+    print(render_scaling(rows))
+    benchmark.extra_info["rows"] = rows
+    assert all(r["speedup"] > 1.1 for r in rows)

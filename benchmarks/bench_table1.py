@@ -1,0 +1,14 @@
+"""Bench E-T1 — regenerate Table I (communication fractions)."""
+
+from repro.experiments import table1
+
+
+def test_table1(run_once, benchmark):
+    rows = run_once(table1.run_table1)
+    print()
+    print(table1.render_table1(rows))
+    benchmark.extra_info["rows"] = [
+        {"batch": r["batch"], "comm_fraction": r["comm_fraction"]} for r in rows
+    ]
+    fracs = [r["comm_fraction"] for r in rows]
+    assert fracs == sorted(fracs, reverse=True)

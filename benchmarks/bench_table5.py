@@ -1,0 +1,19 @@
+"""Bench E-T5 — regenerate Table V (final metrics, original vs DBA)."""
+
+from repro.experiments import table5
+
+
+def test_table5(run_once, benchmark):
+    rows = run_once(table5.run_table5, n_steps=60)
+    print()
+    print(table5.render_table5(rows))
+    benchmark.extra_info["rows"] = rows
+    for r in rows:
+        if r["teco_reduction"] is None:
+            continue
+        if r["higher_is_better"]:
+            # small impact: no collapse below 60% of the original metric
+            assert r["teco_reduction"] > 0.6 * r["original"]
+        else:
+            # perplexity: no blow-up beyond 2x
+            assert r["teco_reduction"] < 2.0 * r["original"]

@@ -1,0 +1,15 @@
+"""Bench E-T6 — regenerate Table VI (model-size sensitivity)."""
+
+from repro.experiments import table6
+
+
+def test_table6(run_once, benchmark):
+    rows = run_once(table6.run_table6)
+    print()
+    print(table6.render_table6(rows))
+    benchmark.extra_info["rows"] = [
+        {k: r[k] for k in ("model", "cxl_speedup", "reduction_speedup")}
+        for r in rows
+    ]
+    by = {r["model"]: r["reduction_speedup"] for r in rows}
+    assert min(by, key=by.get) == "gpt2-11b"

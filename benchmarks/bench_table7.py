@@ -1,0 +1,12 @@
+"""Bench E-T7 — regenerate Table VII (ZeRO-Quant vs TECO hours)."""
+
+from repro.experiments import table7
+
+
+def test_table7(run_once, benchmark):
+    rows = run_once(table7.run_table7)
+    print()
+    print(table7.render_table7(rows))
+    ratio = rows[0]["hours"] / rows[1]["hours"]
+    benchmark.extra_info["ratio"] = ratio
+    assert 2.0 < ratio < 4.0

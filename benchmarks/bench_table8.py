@@ -1,0 +1,14 @@
+"""Bench E-T8 — regenerate Table VIII (LZ4 lossless compression)."""
+
+from repro.experiments import table8
+
+
+def test_table8(run_once, benchmark):
+    rows = run_once(table8.run_table8)
+    print()
+    print(table8.render_table8(rows))
+    benchmark.extra_info["rows"] = [
+        {k: r[k] for k in ("model", "ratio_used", "normalized_time")}
+        for r in rows
+    ]
+    assert all(r["normalized_time"] > 1.5 for r in rows)

@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Each benchmark runs one experiment driver exactly once (pedantic mode) —
+the quantity of interest is the *reproduced table/figure*, attached to the
+benchmark record via ``extra_info`` and printed to stdout (visible with
+``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable once under the benchmark clock, return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

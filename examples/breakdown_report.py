@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Deep-dive: where one training step's time goes (Figure 12).
+
+For a chosen model and batch size, prints the per-phase breakdown of all
+three systems, then drills into the mechanism with the trace pipeline:
+generates the ADAM write-back trace (the gem5-avx artifact), replays it
+over the CXL link (the `process.py` step), and reports how much of the
+parameter-transfer wire time hides under the optimizer sweep.
+
+Run:  python examples/breakdown_report.py [model] [batch]
+      e.g. python examples/breakdown_report.py t5-large 4
+"""
+
+import sys
+
+from repro.experiments import fig12
+from repro.models import get_model
+from repro.offload import HardwareParams
+from repro.trace import adam_writeback_trace, replay_trace
+from repro.utils.units import MIB, seconds_human
+
+
+def main(model: str = "t5-large", batch: int = 4) -> None:
+    spec = get_model(model)
+    hw = HardwareParams.paper_default()
+
+    print(fig12.render_fig12(fig12.run_fig12(model=model, batch_sizes=(batch,))))
+
+    print(f"\n--- trace-pipeline drill-down: {model} parameter update ---")
+    adam_time = hw.adam_time(spec)
+    trace = adam_writeback_trace(
+        param_bytes=spec.param_bytes,
+        sweep_duration=adam_time,
+        llc_bytes=16 * MIB,  # Table II LLC
+    )
+    print(f"write-back trace: {len(trace):,} cache lines over "
+          f"{seconds_human(adam_time)} of ADAM sweep")
+    for dirty_bytes, label in ((4, "TECO-CXL (full lines)"),
+                               (2, "TECO-Reduction (DBA, 2 dirty bytes)")):
+        result = replay_trace(trace, hw.cxl, dirty_bytes=dirty_bytes)
+        print(
+            f"  {label:38s} wire {seconds_human(result.wire_time):>10s}  "
+            f"exposed {seconds_human(result.exposed_time):>10s}  "
+            f"({result.overlap_fraction:.0%} hidden under ADAM)"
+        )
+
+
+if __name__ == "__main__":
+    model = sys.argv[1] if len(sys.argv) > 1 else "t5-large"
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    main(model, batch)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""TECO generality: the 3D Lennard-Jones melt (Section VII).
+
+Runs the LAMMPS-style melt with the force kernel offloaded to the
+accelerator, positions integrated on the CPU, and both arrays exchanged
+every step.  With TECO, positions cross the link through the
+Aggregator/Disaggregator (their high-order bytes barely change per step),
+forces stream uncompressed like gradients.
+
+Prints: energy-conservation check, the measured position byte-change
+profile, DBA's volume cut, and the modelled performance improvement with
+its CXL/DBA split (paper: +21.5%, volume -17%, 78%/22% split).
+
+Run:  python examples/lammps_melt.py
+"""
+
+from repro.experiments.lammps import render_lammps, run_lammps
+from repro.mdsim import MDOffloadSimulation
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    print("running the melt (baseline, energy check)...")
+    base = MDOffloadSimulation(n_side=5, dba=False, seed=11)
+    base_stats = base.run(30)
+    print("running the melt (TECO: DBA on position transfers)...")
+    dba = MDOffloadSimulation(n_side=5, dba=True, dirty_bytes=2, seed=11)
+    dba_stats = dba.run(30)
+
+    rows = [
+        (
+            s_base.step,
+            f"{s_base.potential_energy:.2f}",
+            f"{s_dba.potential_energy:.2f}",
+        )
+        for s_base, s_dba in zip(base_stats[::6], dba_stats[::6])
+    ]
+    print(format_table(
+        ["step", "PE (baseline)", "PE (TECO/DBA)"],
+        rows,
+        title=f"\npotential energy trace ({base.n_atoms} atoms) — "
+        "DBA must not disturb the physics",
+    ))
+
+    byte_stats = dba.profiler.mean_fractions()
+    low2 = byte_stats["last_byte"] + byte_stats["last_two_bytes"]
+    print(f"\nposition bytes changing only in the low 2 bytes: {low2:.0%} "
+          "(why DBA applies to positions)")
+
+    print()
+    print(render_lammps(run_lammps(n_side=5, n_steps=30, seed=11)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Protocol walkthrough: one cache line through Figure 5, step by step.
+
+Traces the exact MESI transitions of the paper's parameter-update flow —
+first under TECO's update extension, then under stock invalidation-based
+CXL — printing each message and both peers' states, plus the wire-byte
+accounting that makes the update protocol cheaper.
+
+Run:  python examples/protocol_trace.py
+"""
+
+from repro.coherence import AddressMap, CoherenceMode, HomeAgent
+from repro.utils.tables import format_table
+
+
+def trace(mode: CoherenceMode) -> tuple[list, int]:
+    amap = AddressMap()
+    region = amap.allocate("params", 256, giant_cache=True)
+    agent = HomeAgent(amap, mode=mode)
+    line = region.base
+    agent.seed_device_copy(line)
+
+    rows = []
+
+    def snap(action, msgs):
+        rows.append(
+            (
+                action,
+                ", ".join(m.name for m in msgs) or "(none)",
+                str(agent.cpu.state(line)),
+                str(agent.device.state(line)),
+            )
+        )
+
+    snap("initial (params resident on GPU)", [])
+    snap("CPU writes the line (ADAM update)", agent.cpu_write(line))
+    snap("line leaves the CPU LLC", agent.cpu_writeback(line))
+    snap("GPU reads the parameter", agent.device_read(line))
+    snap("CPU evicts / end-of-iteration flush", agent.cpu_evict(line))
+    snap("GPU reads again next step", agent.device_read(line))
+    return rows, agent.stats.total_bytes
+
+
+def main() -> None:
+    for mode in (CoherenceMode.UPDATE, CoherenceMode.INVALIDATION):
+        rows, wire = trace(mode)
+        print(
+            format_table(
+                ["action", "CXL messages", "Cs", "Gs"],
+                rows,
+                title=f"\n=== {mode.value} protocol (Figure 5 flow) ===",
+            )
+        )
+        print(f"total wire bytes for the episode: {wire}")
+    print(
+        "\nThe update protocol pushes data with the coherence message "
+        "(Go_Flush + FlushData, M->S); invalidation defers it to an "
+        "on-demand fetch on the consumer's critical path."
+    )
+
+
+if __name__ == "__main__":
+    main()

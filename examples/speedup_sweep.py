@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Full evaluation sweep: every timing table/figure of Section VIII.
+
+Regenerates Table I (communication fractions), Figure 11 / Table IV
+(speedups across the five workloads), Table VI (GPT-2 scaling series),
+the Section IV-A2 invalidation ablation, and the Section VIII-C
+communication-volume accounting — all from the calibrated discrete-event
+engines, in a couple of seconds.
+
+Run:  python examples/speedup_sweep.py
+"""
+
+from repro.experiments import (
+    ablation_invalidation,
+    comm_volume,
+    fig11_table4,
+    table1,
+    table6,
+)
+
+
+def main() -> None:
+    print(table1.render_table1(table1.run_table1()))
+    print()
+    print(fig11_table4.render_speedups(fig11_table4.run_fig11_table4()))
+    print()
+    print(table6.render_table6(table6.run_table6()))
+    print()
+    print(
+        ablation_invalidation.render_ablation(
+            ablation_invalidation.run_invalidation_ablation()
+        )
+    )
+    print()
+    print(comm_volume.render_comm_volume(comm_volume.run_comm_volume()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Auto-tuning ``act_aft_steps`` (Section V-A / Section VIII-E).
+
+The paper sets the DBA activation step by hand (500 of 1775 steps for
+GPT-2) and notes it "can be tuned using Bayesian optimization".  This
+example closes that loop with the from-scratch sequential optimizer in
+``repro.dba.tuning``: each candidate activation step triggers a real
+fine-tuning run (proxy perplexity) plus a timing-model speedup, scalarized
+into the Figure-13 trade-off objective.
+
+Run:  python examples/tune_activation.py
+"""
+
+from repro.dba.tuning import ActivationTuner, tradeoff_objective
+from repro.dba import ActivationPolicy
+from repro.experiments.fig13 import mixed_speedup
+from repro.experiments.runner import finetune, pretrained_lm
+from repro.offload import TrainerMode
+from repro.utils.tables import format_table
+
+TOTAL_STEPS = 120
+PAPER_TOTAL = 1775  # paper's GPT-2 run length, for comparable speedups
+
+
+def main() -> None:
+    print("pre-training the GPT-2 proxy once...")
+    setup = pretrained_lm(seed=5, finetune_batches=TOTAL_STEPS)
+    evaluations: list[tuple[int, float, float, float]] = []
+
+    def objective(act_aft_steps: int) -> float:
+        trainer = finetune(
+            setup,
+            TrainerMode.TECO_REDUCTION,
+            seed=6,
+            policy=ActivationPolicy(act_aft_steps=act_aft_steps, dirty_bytes=2),
+        )
+        ppl = trainer.model.perplexity(setup.eval_batch)
+        paper_act = int(act_aft_steps / TOTAL_STEPS * PAPER_TOTAL)
+        speedup = mixed_speedup(paper_act, PAPER_TOTAL)
+        j = tradeoff_objective(ppl, speedup, speed_weight=40.0)
+        evaluations.append((act_aft_steps, ppl, speedup, j))
+        return j
+
+    tuner = ActivationTuner(total_steps=TOTAL_STEPS, n_init=4, n_iterations=5)
+    result = tuner.tune(objective)
+
+    evaluations.sort()
+    print(format_table(
+        ["act_aft_steps", "proxy ppl", "speedup", "objective"],
+        [
+            (a, f"{p:.3f}", f"{s:.2f}x", f"{j:.3f}")
+            for a, p, s, j in evaluations
+        ],
+        title="\ntuner evaluations (lower objective is better)",
+    ))
+    frac = result.best_act_aft_steps / TOTAL_STEPS
+    print(
+        f"\nbest activation step: {result.best_act_aft_steps} "
+        f"({frac:.0%} of the run; paper's hand-picked 500/1775 = 28%) "
+        f"after {result.n_evaluations} training runs"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,243 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig11
+    python -m repro all          # every experiment, in paper order
+    python -m repro list         # show the experiment index
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _table1() -> str:
+    from repro.experiments import table1
+
+    return table1.render_table1(table1.run_table1())
+
+
+def _fig2() -> str:
+    from repro.experiments import fig2
+    from repro.utils.tables import format_table
+
+    near = fig2.run_fig2(n_steps=40, lr=fig2.NEAR_CONVERGENCE_LR)
+    mid = fig2.run_fig2(n_steps=40, lr=fig2.MID_TRAINING_LR)
+    rows = [
+        (
+            label,
+            f"{m['last_byte']:.0%}",
+            f"{m['last_two_bytes']:.0%}",
+            f"{m['other']:.0%}",
+        )
+        for label, m in (
+            ("params (near convergence)", near.param_means),
+            ("params (mid-training)", mid.param_means),
+            ("gradients", mid.grad_means),
+        )
+    ]
+    return format_table(
+        ["tensor", "last byte", "last 2 bytes", "other"],
+        rows,
+        title="Figure 2 — value-changed byte distribution",
+    )
+
+
+def _invalidation() -> str:
+    from repro.experiments import ablation_invalidation as abl
+
+    return abl.render_ablation(abl.run_invalidation_ablation())
+
+
+def _fig10() -> str:
+    from repro.experiments import fig10
+    from repro.utils.tables import format_table
+
+    result = fig10.run_fig10(n_steps=100, act_aft_steps=25)
+    rows = [
+        (i, f"{result.baseline_curve[i]:.4f}", f"{result.teco_curve[i]:.4f}")
+        for i in range(0, 100, 10)
+    ]
+    return format_table(
+        ["step", "original", "TECO-Reduction"],
+        rows,
+        title="Figure 10 — training loss curves",
+    )
+
+
+def _fig11() -> str:
+    from repro.experiments import fig11_table4
+
+    return fig11_table4.render_speedups(fig11_table4.run_fig11_table4())
+
+
+def _fig12() -> str:
+    from repro.experiments import fig12
+
+    return fig12.render_fig12(fig12.run_fig12())
+
+
+def _table5() -> str:
+    from repro.experiments import table5
+
+    return table5.render_table5(table5.run_table5())
+
+
+def _table6() -> str:
+    from repro.experiments import table6
+
+    return table6.render_table6(table6.run_table6())
+
+
+def _fig13() -> str:
+    from repro.experiments import fig13
+
+    return fig13.render_fig13(
+        fig13.run_fig13(sweep=(0, 20, 40, 80, 120), total_steps=120)
+    )
+
+
+def _table7() -> str:
+    from repro.experiments import table7
+
+    return table7.render_table7(table7.run_table7())
+
+
+def _table8() -> str:
+    from repro.experiments import table8
+
+    return table8.render_table8(table8.run_table8())
+
+
+def _comm_volume() -> str:
+    from repro.experiments import comm_volume
+
+    return comm_volume.render_comm_volume(comm_volume.run_comm_volume())
+
+
+def _overheads() -> str:
+    from repro.experiments import overheads
+
+    return overheads.render_overheads()
+
+
+def _lammps() -> str:
+    from repro.experiments import lammps
+
+    return lammps.render_lammps(lammps.run_lammps())
+
+
+def _scaling() -> str:
+    from repro.experiments.scaling import render_scaling, run_scaling
+
+    return render_scaling(run_scaling())
+
+
+def _models() -> str:
+    from repro.models import MODEL_REGISTRY
+    from repro.utils.tables import format_table
+
+    return format_table(
+        ["model", "family", "params", "layers", "hidden", "heads", "giant cache"],
+        [spec.summary_row() for spec in MODEL_REGISTRY.values()],
+        title="Table III — evaluated models",
+    )
+
+
+def _ablations() -> str:
+    from repro.experiments.ablation_dpu import (
+        render_dpu_ablation,
+        run_dpu_ablation,
+    )
+    from repro.experiments.ablation_granularity import (
+        render_granularity,
+        run_buffer_granularity,
+        run_stream_granularity,
+    )
+    from repro.experiments.ablation_interconnect import (
+        render_interconnect,
+        run_interconnect_ablation,
+    )
+    from repro.experiments.ablation_seqlen import (
+        render_seqlen,
+        run_seqlen_ablation,
+    )
+
+    parts = [
+        render_dpu_ablation(run_dpu_ablation()),
+        render_granularity(
+            run_buffer_granularity(), run_stream_granularity()
+        ),
+        render_interconnect(run_interconnect_ablation()),
+        render_seqlen(run_seqlen_ablation()),
+    ]
+    return "\n\n".join(parts)
+
+
+#: name -> (runner, description); ordered as in the paper.
+EXPERIMENTS: dict[str, tuple[Callable[[], str], str]] = {
+    "table1": (_table1, "Table I — ZeRO-Offload communication fractions"),
+    "fig2": (_fig2, "Figure 2 — value-changed byte distribution"),
+    "invalidation": (_invalidation, "Sec IV-A2 — invalidation vs update"),
+    "fig10": (_fig10, "Figure 10 — loss curves with/without DBA"),
+    "fig11": (_fig11, "Figure 11 / Table IV — speedups"),
+    "fig12": (_fig12, "Figure 12 — T5-large phase breakdown"),
+    "table5": (_table5, "Table V — final model metrics"),
+    "table6": (_table6, "Table VI — model-size sensitivity"),
+    "fig13": (_fig13, "Figure 13 — DBA activation sweep"),
+    "table7": (_table7, "Table VII — ZeRO-Quant comparison"),
+    "table8": (_table8, "Table VIII — LZ4 comparison"),
+    "comm-volume": (_comm_volume, "Sec VIII-C — communication volume"),
+    "overheads": (_overheads, "Sec VIII-D — hardware overheads"),
+    "lammps": (_lammps, "Sec VII — LJ melt generality"),
+    "ablations": (_ablations, "extra ablations (DPU, granularity, PCIe)"),
+    "scaling": (_scaling, "extension — data-parallel scaling"),
+    "models": (_models, "Table III — the evaluated model zoo"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables and figures of the TECO paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "list", "report"],
+        help="experiment id (or 'all' / 'list' / 'report')",
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        help="output directory for 'report' (default: results/)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for name, (_, desc) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {desc}")
+        return 0
+    if args.experiment == "report":
+        from repro.experiments.report import generate_report
+
+        generate_report(args.out)
+        print(f"wrote {args.out}/report.md and {args.out}/results.json")
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for i, name in enumerate(names):
+        if i:
+            print()
+        runner, _ = EXPERIMENTS[name]
+        print(runner())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""CXL cache-coherence machinery (Sections IV-A2, Figures 4-5).
+
+TECO places the CPU cache and a giant-cache region of accelerator memory in
+one CXL coherence domain.  Stock CXL uses invalidation-based MESI; TECO
+extends it with an *update-based* mode in which a Modified line is pushed to
+the peer (``Go_Flush``/``FlushData``) and transitions M -> S immediately,
+so data rides with the coherence message instead of being fetched on demand.
+
+* :mod:`repro.coherence.mesi` — MESI states, coherence messages, peer-cache
+  line-state tables.
+* :mod:`repro.coherence.home_agent` — the home agent mediating the two peer
+  caches in either invalidation or update mode, with full traffic
+  accounting.
+* :mod:`repro.coherence.giant_cache` — giant-cache region mapping
+  (resizable-BAR model) and its sizing rule.
+* :mod:`repro.coherence.snoop_filter` — the directory TECO's
+  producer/consumer insight makes unnecessary (kept for the fallback
+  invalidation mode and for overhead accounting).
+"""
+
+from repro.coherence.giant_cache import AddressMap, GiantCacheRegion
+from repro.coherence.home_agent import CoherenceMode, HomeAgent, TrafficStats
+from repro.coherence.mesi import MESIState, PeerCache
+from repro.coherence.snoop_filter import SnoopFilter
+
+__all__ = [
+    "MESIState",
+    "PeerCache",
+    "CoherenceMode",
+    "HomeAgent",
+    "TrafficStats",
+    "GiantCacheRegion",
+    "AddressMap",
+    "SnoopFilter",
+]

@@ -1,0 +1,73 @@
+"""Snoop filter (coherence directory) for the fallback invalidation mode.
+
+TECO's key structural argument (Section IV-A2) is that the giant cache does
+*not* need a snoop filter: the CPU and accelerator have a clear
+producer/consumer relationship per tensor, so sharer tracking is redundant.
+For applications without that property TECO "goes back to using the
+invalidation protocol and snoop filter"; this module provides that directory
+plus its storage-overhead arithmetic, which quantifies what TECO saves.
+"""
+
+from __future__ import annotations
+
+from repro.interconnect.packets import CACHE_LINE_BYTES
+
+__all__ = ["SnoopFilter"]
+
+
+class SnoopFilter:
+    """Per-line sharer directory.
+
+    Parameters
+    ----------
+    bits_per_entry
+        Directory entry width: sharer bit-vector + state + tag overhead.
+        8 bytes/entry is a conventional sparse-directory estimate.
+    """
+
+    def __init__(self, bits_per_entry: int = 64):
+        if bits_per_entry <= 0:
+            raise ValueError("bits_per_entry must be positive")
+        self.bits_per_entry = bits_per_entry
+        self._sharers: dict[int, frozenset[str]] = {}
+        self.lookups = 0
+
+    def sharers(self, line: int) -> frozenset[str]:
+        """The sharer set of a line (empty if untracked)."""
+        self.lookups += 1
+        return self._sharers.get(line, frozenset())
+
+    def set_sharers(self, line: int, agents: list[str]) -> None:
+        """Replace a line's sharer set (empty clears it)."""
+        if line < 0:
+            raise ValueError("line address must be non-negative")
+        if agents:
+            self._sharers[line] = frozenset(agents)
+        else:
+            self._sharers.pop(line, None)
+
+    def add_sharer(self, line: int, agent: str) -> None:
+        """Add one agent to a line's sharer set."""
+        self._sharers[line] = self.sharers(line) | {agent}
+
+    def remove_sharer(self, line: int, agent: str) -> None:
+        """Remove one agent from a line's sharer set."""
+        remaining = self.sharers(line) - {agent}
+        self.set_sharers(line, sorted(remaining))
+
+    @property
+    def tracked_lines(self) -> int:
+        """Number of lines with a non-empty sharer set."""
+        return len(self._sharers)
+
+    def storage_bytes(self, tracked_region_bytes: int) -> int:
+        """Directory storage needed to cover ``tracked_region_bytes``.
+
+        This is the cost TECO avoids: a full directory over a multi-GB
+        giant cache (e.g. 2 GiB of T5-large parameters -> tens of MB of
+        directory SRAM).
+        """
+        if tracked_region_bytes < 0:
+            raise ValueError("region size must be non-negative")
+        n_lines = tracked_region_bytes // CACHE_LINE_BYTES
+        return n_lines * self.bits_per_entry // 8

@@ -1,0 +1,90 @@
+"""The Aggregator: sender-side dirty-byte packing (Section V-B, Figure 7a).
+
+For each 64-byte cache line of FP32 parameters, the Aggregator takes the
+least significant ``dirty_bytes`` bytes of each 4-byte word and concatenates
+them into a compact payload (32 bytes for the default ``dirty_bytes=2``),
+which the CXL link layer then packs into packets.  When the DBA register is
+disabled the logic is bypassed and full lines are sent.
+
+Implementation notes: lines are processed as ``uint32`` word matrices and
+payload bytes are extracted with shifts/masks, which is endianness-neutral
+and vectorizes over arbitrarily many lines at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dba.registers import DBARegister
+from repro.interconnect.packets import CACHE_LINE_BYTES
+from repro.utils.bits import float32_to_words
+from repro.utils.units import NS
+
+__all__ = ["Aggregator", "WORDS_PER_LINE"]
+
+#: FP32 words per 64-byte cache line.
+WORDS_PER_LINE = CACHE_LINE_BYTES // 4
+
+#: ASIC-scaled Aggregator latency per 64-byte line (Section VIII-D).
+AGGREGATOR_LATENCY = 1.28 * NS
+
+
+class Aggregator:
+    """CPU-side CXL-module logic packing dirty bytes into payloads."""
+
+    def __init__(self, register: DBARegister | None = None):
+        self.register = register or DBARegister()
+        self.lines_processed = 0
+        self.payload_bytes_produced = 0
+
+    @property
+    def latency(self) -> float:
+        """Per-line processing latency (0 when bypassed)."""
+        return AGGREGATOR_LATENCY if self.register.enabled else 0.0
+
+    def configure(self, register: DBARegister) -> None:
+        """Program the DBA register via the CXL configuration interface."""
+        self.register = register
+
+    def pack_lines(self, lines: np.ndarray) -> np.ndarray:
+        """Aggregate cache lines into wire payloads.
+
+        Parameters
+        ----------
+        lines
+            FP32 array of shape ``(n_lines, 16)`` — 64 bytes per row.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``uint8`` payload of shape ``(n_lines, 16 * dirty_bytes)``;
+            with DBA disabled, the full ``(n_lines, 64)`` line bytes.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.float32)
+        if lines.ndim != 2 or lines.shape[1] != WORDS_PER_LINE:
+            raise ValueError(
+                f"expected (n, {WORDS_PER_LINE}) float32, got {lines.shape}"
+            )
+        n = self.register.effective_dirty_bytes
+        words = float32_to_words(lines)
+        payload = np.empty(
+            (lines.shape[0], WORDS_PER_LINE, n), dtype=np.uint8
+        )
+        for j in range(n):
+            payload[:, :, j] = (words >> np.uint32(8 * j)) & np.uint32(0xFF)
+        out = payload.reshape(lines.shape[0], WORDS_PER_LINE * n)
+        self.lines_processed += lines.shape[0]
+        self.payload_bytes_produced += out.size
+        return out
+
+    def pack_tensor(self, tensor: np.ndarray) -> np.ndarray:
+        """Aggregate a flat FP32 tensor (padded to whole lines)."""
+        flat = np.ascontiguousarray(tensor, dtype=np.float32).reshape(-1)
+        rem = (-flat.size) % WORDS_PER_LINE
+        if rem:
+            flat = np.concatenate([flat, np.zeros(rem, dtype=np.float32)])
+        return self.pack_lines(flat.reshape(-1, WORDS_PER_LINE))
+
+    def payload_bytes_per_line(self) -> int:
+        """Wire payload per 64-byte line under the current register."""
+        return WORDS_PER_LINE * self.register.effective_dirty_bytes

@@ -1,0 +1,152 @@
+"""Tuning ``act_aft_steps`` (Section V-A / Section VIII-E).
+
+The paper notes the activation step "can be tuned using Bayesian
+optimization" and picks 500 as the balance point of Figure 13's
+accuracy-vs-speedup trade-off.  This module provides that tuner: a
+sequential model-based optimizer over the integer activation step, using
+a Gaussian-process-lite surrogate (RBF-kernel regression over evaluated
+points) with an expected-improvement-style acquisition — the standard
+1-D Bayesian-optimization recipe, implemented from scratch.
+
+The objective is the scalarization the trade-off implies::
+
+    J(act) = quality_weight * metric(act) - speed_weight * speedup(act)
+
+(lower is better for loss/perplexity metrics).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TuningResult", "ActivationTuner", "tradeoff_objective"]
+
+
+def tradeoff_objective(
+    metric: float,
+    speedup: float,
+    quality_weight: float = 1.0,
+    speed_weight: float = 1.0,
+) -> float:
+    """Scalarize the Figure-13 trade-off (metric = lower-is-better)."""
+    return quality_weight * metric - speed_weight * speedup
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a tuning run."""
+
+    best_act_aft_steps: int
+    best_objective: float
+    evaluated: dict[int, float]
+
+    @property
+    def n_evaluations(self) -> int:
+        """Number of distinct objective evaluations performed."""
+        return len(self.evaluated)
+
+
+@dataclass
+class ActivationTuner:
+    """Sequential 1-D Bayesian optimizer over ``act_aft_steps``.
+
+    Parameters
+    ----------
+    total_steps
+        Training-run length (the search domain is ``[0, total_steps]``).
+    n_init
+        Initial space-filling evaluations (even grid).
+    n_iterations
+        Surrogate-guided evaluations after initialization.
+    length_scale
+        RBF kernel length scale, as a fraction of the domain.
+    explore
+        Exploration weight on the surrogate's uncertainty.
+    """
+
+    total_steps: int
+    n_init: int = 4
+    n_iterations: int = 6
+    length_scale: float = 0.2
+    explore: float = 0.5
+    noise: float = 1e-6
+    _rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0), repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if self.n_init < 2:
+            raise ValueError("need at least 2 initial points")
+        if self.n_iterations < 0:
+            raise ValueError("n_iterations must be non-negative")
+        if not 0 < self.length_scale <= 1:
+            raise ValueError("length_scale must be in (0, 1]")
+
+    # -- surrogate ---------------------------------------------------------
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        scale = self.length_scale * self.total_steps
+        d = (a[:, None] - b[None, :]) / scale
+        return np.exp(-0.5 * d * d)
+
+    def _posterior(
+        self, xs: np.ndarray, ys: np.ndarray, grid: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """GP posterior mean/std on ``grid`` given observations."""
+        k_xx = self._kernel(xs, xs) + self.noise * np.eye(xs.size)
+        k_gx = self._kernel(grid, xs)
+        mean_y = ys.mean()
+        alpha = np.linalg.solve(k_xx, ys - mean_y)
+        mu = mean_y + k_gx @ alpha
+        v = np.linalg.solve(k_xx, k_gx.T)
+        var = np.clip(1.0 - np.einsum("ij,ji->i", k_gx, v), 0.0, None)
+        scale = ys.std() if ys.std() > 0 else 1.0
+        return mu, np.sqrt(var) * scale
+
+    # -- optimization loop ----------------------------------------------------
+    def tune(self, objective: Callable[[int], float]) -> TuningResult:
+        """Minimize ``objective(act_aft_steps)`` over the domain.
+
+        ``objective`` is called once per distinct candidate (results are
+        memoized — training runs are expensive).
+        """
+        evaluated: dict[int, float] = {}
+
+        def evaluate(x: int) -> float:
+            x = int(np.clip(x, 0, self.total_steps))
+            if x not in evaluated:
+                evaluated[x] = float(objective(x))
+            return evaluated[x]
+
+        # Space-filling initialization.
+        init = np.linspace(0, self.total_steps, self.n_init).astype(int)
+        for x in init:
+            evaluate(int(x))
+
+        grid = np.arange(0, self.total_steps + 1, dtype=np.float64)
+        for _ in range(self.n_iterations):
+            xs = np.array(sorted(evaluated), dtype=np.float64)
+            ys = np.array([evaluated[int(x)] for x in xs])
+            mu, sigma = self._posterior(xs, ys, grid)
+            # Lower-confidence-bound acquisition (minimization).
+            acq = mu - self.explore * sigma
+            # Tiny jitter breaks exact ties deterministically per-tuner.
+            acq = acq + self._rng.normal(0, 1e-12, acq.size)
+            candidate = int(grid[np.argmin(acq)])
+            if candidate in evaluated:
+                # Fall back to the most uncertain point.
+                candidate = int(grid[np.argmax(sigma)])
+                if candidate in evaluated:
+                    break
+            evaluate(candidate)
+
+        best = min(evaluated, key=evaluated.get)
+        return TuningResult(
+            best_act_aft_steps=best,
+            best_objective=evaluated[best],
+            evaluated=dict(sorted(evaluated.items())),
+        )

@@ -1,0 +1,57 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning plain dict/list rows —
+the same rows the paper's tables report — consumed by the benchmark
+harness (``benchmarks/``) and the examples.  See DESIGN.md section 3 for
+the experiment index.
+"""
+
+from repro.experiments import (
+    ablation_dirty_bytes,
+    ablation_dpu,
+    ablation_granularity,
+    ablation_interconnect,
+    ablation_invalidation,
+    ablation_seqlen,
+    cost_model,
+    comm_volume,
+    fig2,
+    fig10,
+    fig11_table4,
+    fig12,
+    fig13,
+    lammps,
+    overheads,
+    report,
+    scaling,
+    table1,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+__all__ = [
+    "table1",
+    "ablation_dpu",
+    "ablation_granularity",
+    "ablation_dirty_bytes",
+    "ablation_interconnect",
+    "ablation_seqlen",
+    "cost_model",
+    "report",
+    "scaling",
+    "fig2",
+    "ablation_invalidation",
+    "fig10",
+    "fig11_table4",
+    "fig12",
+    "table5",
+    "table6",
+    "fig13",
+    "table7",
+    "table8",
+    "comm_volume",
+    "overheads",
+    "lammps",
+]

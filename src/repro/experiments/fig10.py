@@ -1,0 +1,90 @@
+"""E-F10 — Figure 10: training-loss curves, original vs TECO-Reduction.
+
+Paper: with DBA active (after `act_aft_steps`), the loss curves of GPT-2
+and Albert "show the similar trend and we use the same number of steps to
+reach convergence".  Here: fine-tune the tiny decoder proxy from one
+checkpoint under both systems and return both curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dba import ActivationPolicy
+from repro.experiments.runner import (
+    finetune,
+    pretrained_classifier,
+    pretrained_lm,
+)
+from repro.offload import TrainerMode
+
+__all__ = ["Fig10Result", "run_fig10", "run_fig10_albert"]
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Loss curves of the baseline and TECO-Reduction runs."""
+    baseline_curve: list[float]
+    teco_curve: list[float]
+    act_aft_steps: int
+
+    @property
+    def final_gap(self) -> float:
+        """|final-loss difference| between the two systems."""
+        return abs(self.baseline_curve[-1] - self.teco_curve[-1])
+
+    def smoothed(self, curve: list[float], window: int = 8) -> list[float]:
+        """Moving-average smoothing for plotting/comparison."""
+        x = np.asarray(curve, dtype=np.float64)
+        kernel = np.ones(window) / window
+        return np.convolve(x, kernel, mode="valid").tolist()
+
+    @property
+    def same_trend(self) -> bool:
+        """Both smoothed curves end below where they started and their
+        final smoothed values are within 25% of the initial loss."""
+        b = self.smoothed(self.baseline_curve)
+        t = self.smoothed(self.teco_curve)
+        decreasing = b[-1] <= b[0] and t[-1] <= t[0] * 1.05
+        close = abs(b[-1] - t[-1]) < 0.25 * max(b[0], 1e-9)
+        return decreasing and close
+
+
+def _compare(setup, act_aft_steps: int, seed: int, lr: float) -> Fig10Result:
+    baseline = finetune(setup, TrainerMode.ZERO_OFFLOAD, lr=lr, seed=seed + 1)
+    teco = finetune(
+        setup,
+        TrainerMode.TECO_REDUCTION,
+        lr=lr,
+        seed=seed + 1,
+        policy=ActivationPolicy(act_aft_steps=act_aft_steps, dirty_bytes=2),
+    )
+    return Fig10Result(
+        baseline_curve=baseline.loss_curve,
+        teco_curve=teco.loss_curve,
+        act_aft_steps=act_aft_steps,
+    )
+
+
+def run_fig10(
+    n_steps: int = 120,
+    act_aft_steps: int = 30,
+    seed: int = 0,
+    lr: float = 5e-4,
+) -> Fig10Result:
+    """The GPT-2 panel: decoder-proxy fine-tuning loss curves."""
+    setup = pretrained_lm(seed=seed, finetune_batches=n_steps)
+    return _compare(setup, act_aft_steps, seed, lr)
+
+
+def run_fig10_albert(
+    n_steps: int = 120,
+    act_aft_steps: int = 30,
+    seed: int = 0,
+    lr: float = 5e-4,
+) -> Fig10Result:
+    """The Albert panel: shared-layer encoder fine-tuning loss curves."""
+    setup = pretrained_classifier(seed=seed, finetune_batches=n_steps)
+    return _compare(setup, act_aft_steps, seed, lr)

@@ -1,0 +1,187 @@
+"""Shared experiment harness utilities.
+
+The functional experiments all follow the paper's methodology: take a
+*pre-trained* model, fine-tune it under a system configuration, measure a
+task metric.  :func:`pretrained_lm` / :func:`pretrained_classifier` build
+and pre-train the tiny proxies once per (seed, shape); the fine-tuning
+comparisons then run from identical checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data import classification_set, lm_batches, lm_corpus
+from repro.models import TinyProxyConfig
+from repro.offload import OffloadTrainer, TrainerMode
+from repro.tensor.transformer import (
+    TinyTransformerClassifier,
+    TinyTransformerLM,
+)
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "LMSetup",
+    "ClassifierSetup",
+    "pretrained_lm",
+    "pretrained_classifier",
+    "finetune",
+]
+
+DEFAULT_CFG = TinyProxyConfig()
+
+
+@dataclass
+class LMSetup:
+    """A pre-trained tiny LM plus its data splits."""
+
+    model: TinyTransformerLM
+    state: dict[str, np.ndarray]
+    train_batches: list[tuple]
+    eval_batch: np.ndarray
+
+    def fresh_model(self, rng: np.random.Generator) -> TinyTransformerLM:
+        """A new model loaded with the pre-trained checkpoint."""
+        m = TinyTransformerLM(
+            vocab=self.model.vocab,
+            dim=self.model.tok.dim,
+            n_heads=self.model.stack.blocks[0].attn.n_heads,
+            n_layers=self.model.stack.n_layers,
+            max_seq=self.model.max_seq,
+            rng=rng,
+        )
+        m.load_state_dict(self.state)
+        return m
+
+
+@dataclass
+class ClassifierSetup:
+    """A pre-trained tiny classifier plus its data splits."""
+
+    model: TinyTransformerClassifier
+    state: dict[str, np.ndarray]
+    train_batches: list[tuple]
+    eval_ids: np.ndarray
+    eval_labels: np.ndarray
+    shape: tuple[int, int, int, int, int]  # vocab, dim, heads, layers, seq
+
+    def fresh_model(self, rng: np.random.Generator) -> TinyTransformerClassifier:
+        """A new model loaded with the pre-trained checkpoint."""
+        vocab, dim, heads, layers, seq = self.shape
+        m = TinyTransformerClassifier(
+            vocab=vocab,
+            dim=dim,
+            n_heads=heads,
+            n_layers=layers,
+            max_seq=seq,
+            n_classes=self.model.n_classes,
+            rng=rng,
+        )
+        m.load_state_dict(self.state)
+        return m
+
+
+def pretrained_lm(
+    seed: int = 0,
+    pretrain_steps: int = 80,
+    finetune_batches: int = 120,
+    vocab: int = 32,
+    dim: int = 32,
+    seq: int = 16,
+    batch: int = 8,
+) -> LMSetup:
+    """Pre-train a tiny LM on a Markov corpus, yield a fine-tuning setup.
+
+    Pre-training uses one corpus; fine-tuning batches come from a second
+    corpus with different transition structure — the 'domain shift' that
+    makes fine-tuning meaningful.
+    """
+    rng = make_rng(seed)
+    model = TinyTransformerLM(
+        vocab=vocab, dim=dim, n_heads=2, n_layers=2, max_seq=seq + 2, rng=rng
+    )
+    pre_corpus = lm_corpus(6000, vocab, make_rng(seed + 1))
+    trainer = OffloadTrainer(model, lr=3e-3)
+    trainer.train(
+        lm_batches(pre_corpus, batch, seq, pretrain_steps, make_rng(seed + 2))
+    )
+    ft_corpus = lm_corpus(6000, vocab, make_rng(seed + 3))
+    train = lm_batches(ft_corpus, batch, seq, finetune_batches, make_rng(seed + 4))
+    eval_batch = np.stack(
+        [
+            ft_corpus[s : s + seq]
+            for s in make_rng(seed + 5).integers(0, 5000, 16)
+        ]
+    )
+    return LMSetup(
+        model=model,
+        state=model.state_dict(),
+        train_batches=train,
+        eval_batch=eval_batch,
+    )
+
+
+def pretrained_classifier(
+    seed: int = 0,
+    pretrain_steps: int = 60,
+    finetune_batches: int = 100,
+    vocab: int = 32,
+    dim: int = 32,
+    seq: int = 12,
+    batch: int = 8,
+) -> ClassifierSetup:
+    """Pre-train a tiny classifier, yield a fine-tuning setup on fresh data."""
+    rng = make_rng(seed + 10)
+    model = TinyTransformerClassifier(
+        vocab=vocab,
+        dim=dim,
+        n_heads=2,
+        n_layers=2,
+        max_seq=seq,
+        n_classes=2,
+        rng=rng,
+    )
+    ids, labels = classification_set(
+        batch * pretrain_steps, vocab, seq, make_rng(seed + 11)
+    )
+    trainer = OffloadTrainer(model, lr=3e-3)
+    trainer.train(
+        [
+            (ids[i * batch : (i + 1) * batch], labels[i * batch : (i + 1) * batch])
+            for i in range(pretrain_steps)
+        ]
+    )
+    ft_ids, ft_labels = classification_set(
+        batch * finetune_batches + 64, vocab, seq, make_rng(seed + 12)
+    )
+    train = [
+        (
+            ft_ids[i * batch : (i + 1) * batch],
+            ft_labels[i * batch : (i + 1) * batch],
+        )
+        for i in range(finetune_batches)
+    ]
+    return ClassifierSetup(
+        model=model,
+        state=model.state_dict(),
+        train_batches=train,
+        eval_ids=ft_ids[-64:],
+        eval_labels=ft_labels[-64:],
+        shape=(vocab, dim, 2, 2, seq),
+    )
+
+
+def finetune(
+    setup: LMSetup | ClassifierSetup,
+    mode: TrainerMode,
+    lr: float = 5e-4,
+    seed: int = 99,
+    policy=None,
+) -> OffloadTrainer:
+    """Fine-tune a fresh copy of the setup's checkpoint under ``mode``."""
+    model = setup.fresh_model(make_rng(seed))
+    trainer = OffloadTrainer(model, mode=mode, lr=lr, policy=policy)
+    trainer.train(setup.train_batches)
+    return trainer

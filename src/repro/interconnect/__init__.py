@@ -1,0 +1,36 @@
+"""Interconnect models: PCIe physical link and the CXL protocol stack.
+
+The paper emulates "PCIe 3.0 with 16 lanes with 16 GB/s bandwidth" and
+assumes CXL traffic consumes "94.3% of PCIe bandwidth" (Section VIII-A).
+These modules reproduce that emulation layer:
+
+* :mod:`repro.interconnect.pcie` — PCIe generations, lanes, raw/effective
+  bandwidth, and DMA-style bulk-transfer timing used by the ZeRO-Offload
+  baseline.
+* :mod:`repro.interconnect.cxl` — the CXL link layer: protocol efficiency,
+  flit packing, and a controller with the 128-entry pending queue that
+  streams cache lines serially.
+* :mod:`repro.interconnect.packets` — CXL.cache message/packet formats,
+  including the reserved header bit that flags DBA-compressed payloads.
+"""
+
+from repro.interconnect.cxl import CXLController, CXLLinkModel, CXL_EFFICIENCY
+from repro.interconnect.packets import (
+    CacheLinePayload,
+    CXLPacket,
+    MessageType,
+    packet_wire_bytes,
+)
+from repro.interconnect.pcie import PCIeGen, PCIeLinkModel
+
+__all__ = [
+    "PCIeGen",
+    "PCIeLinkModel",
+    "CXLLinkModel",
+    "CXLController",
+    "CXL_EFFICIENCY",
+    "MessageType",
+    "CXLPacket",
+    "CacheLinePayload",
+    "packet_wire_bytes",
+]

@@ -1,0 +1,23 @@
+"""Molecular-dynamics generality study (Section VII).
+
+A from-scratch 3D Lennard-Jones melt (the LAMMPS ``melt`` benchmark
+family): cell-list neighbor search, truncated LJ forces, velocity-Verlet
+integration in reduced units — plus the CPU/accelerator offload adaptation
+where the accelerator computes forces and the CPU integrates positions,
+exchanging both arrays every step.  TECO applies to the position transfer
+(positions drift slowly -> low-byte changes), not to forces.
+"""
+
+from repro.mdsim.lj import LJParams, compute_forces, cubic_lattice, potential_energy
+from repro.mdsim.integrate import velocity_verlet_step
+from repro.mdsim.offload import MDOffloadModel, MDOffloadSimulation
+
+__all__ = [
+    "LJParams",
+    "compute_forces",
+    "cubic_lattice",
+    "potential_energy",
+    "velocity_verlet_step",
+    "MDOffloadSimulation",
+    "MDOffloadModel",
+]

@@ -1,0 +1,48 @@
+"""Velocity-Verlet integration for the LJ melt."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mdsim.lj import LJParams, compute_forces
+
+__all__ = ["velocity_verlet_step", "kinetic_energy", "initialize_velocities"]
+
+
+def initialize_velocities(
+    n: int, temperature: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Maxwell-Boltzmann velocities at ``temperature``, zero net momentum."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if temperature < 0:
+        raise ValueError("temperature must be non-negative")
+    v = rng.standard_normal((n, 3)) * np.sqrt(temperature)
+    v -= v.mean(axis=0)
+    return v
+
+
+def kinetic_energy(velocities: np.ndarray) -> float:
+    """Total kinetic energy (unit mass, reduced units)."""
+    return float(0.5 * np.sum(velocities**2))
+
+
+def velocity_verlet_step(
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    forces: np.ndarray,
+    box: float,
+    dt: float,
+    params: LJParams | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """One velocity-Verlet step; returns (pos, vel, forces, energy).
+
+    Positions wrap into the periodic box; energy is the new potential.
+    """
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    half = velocities + 0.5 * dt * forces
+    new_pos = (positions + dt * half) % box
+    new_forces, energy = compute_forces(new_pos, box, params)
+    new_vel = half + 0.5 * dt * new_forces
+    return new_pos, new_vel, new_forces, energy

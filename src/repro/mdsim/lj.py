@@ -1,0 +1,152 @@
+"""Truncated Lennard-Jones forces with cell-list neighbor search.
+
+Reduced units throughout (sigma = epsilon = mass = 1), periodic cubic box,
+the standard LAMMPS ``melt`` setup.  Force evaluation is vectorized: cell
+lists produce candidate pairs, pair forces are evaluated with NumPy and
+scatter-added per atom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LJParams",
+    "cubic_lattice",
+    "neighbor_pairs",
+    "compute_forces",
+    "potential_energy",
+]
+
+
+@dataclass(frozen=True)
+class LJParams:
+    """Lennard-Jones parameters in reduced units."""
+
+    epsilon: float = 1.0
+    sigma: float = 1.0
+    rcut: float = 2.5
+
+    def __post_init__(self) -> None:
+        if min(self.epsilon, self.sigma, self.rcut) <= 0:
+            raise ValueError("all LJ parameters must be positive")
+
+
+def cubic_lattice(n_side: int, density: float = 0.8442) -> tuple[np.ndarray, float]:
+    """Simple-cubic lattice of ``n_side^3`` atoms at the melt density.
+
+    Returns (positions, box_length).
+    """
+    if n_side <= 0:
+        raise ValueError("n_side must be positive")
+    if density <= 0:
+        raise ValueError("density must be positive")
+    n = n_side**3
+    box = (n / density) ** (1.0 / 3.0)
+    spacing = box / n_side
+    grid = np.arange(n_side) * spacing
+    x, y, z = np.meshgrid(grid, grid, grid, indexing="ij")
+    pos = np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
+    return pos.astype(np.float64), float(box)
+
+
+def _minimum_image(delta: np.ndarray, box: float) -> np.ndarray:
+    return delta - box * np.round(delta / box)
+
+
+def neighbor_pairs(
+    positions: np.ndarray, box: float, rcut: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Candidate interacting pairs (i < j) via a cell list.
+
+    Falls back to all-pairs for boxes smaller than 3 cells per side
+    (where cell lists cannot exclude anything).
+    """
+    n = positions.shape[0]
+    n_cells = int(box // rcut)
+    if n_cells < 3:
+        iu, ju = np.triu_indices(n, k=1)
+        return iu, ju
+    cell_size = box / n_cells
+    coords = np.floor(positions / cell_size).astype(int) % n_cells
+    cell_id = (
+        coords[:, 0] * n_cells * n_cells + coords[:, 1] * n_cells + coords[:, 2]
+    )
+    order = np.argsort(cell_id, kind="stable")
+    sorted_ids = cell_id[order]
+    # bucket boundaries
+    starts = np.searchsorted(sorted_ids, np.arange(n_cells**3), side="left")
+    ends = np.searchsorted(sorted_ids, np.arange(n_cells**3), side="right")
+    offsets = np.array(
+        [(dx, dy, dz) for dx in (-1, 0, 1) for dy in (-1, 0, 1) for dz in (-1, 0, 1)]
+    )
+    pairs_i: list[np.ndarray] = []
+    pairs_j: list[np.ndarray] = []
+    for cx in range(n_cells):
+        for cy in range(n_cells):
+            for cz in range(n_cells):
+                c = cx * n_cells * n_cells + cy * n_cells + cz
+                own = order[starts[c] : ends[c]]
+                if own.size == 0:
+                    continue
+                neigh_cells = (
+                    ((cx + offsets[:, 0]) % n_cells) * n_cells * n_cells
+                    + ((cy + offsets[:, 1]) % n_cells) * n_cells
+                    + ((cz + offsets[:, 2]) % n_cells)
+                )
+                members = [order[starts[nc] : ends[nc]] for nc in set(neigh_cells.tolist())]
+                cand = np.concatenate(members)
+                ii = np.repeat(own, cand.size)
+                jj = np.tile(cand, own.size)
+                keep = ii < jj
+                pairs_i.append(ii[keep])
+                pairs_j.append(jj[keep])
+    if not pairs_i:
+        return np.empty(0, dtype=int), np.empty(0, dtype=int)
+    return np.concatenate(pairs_i), np.concatenate(pairs_j)
+
+
+def compute_forces(
+    positions: np.ndarray, box: float, params: LJParams | None = None
+) -> tuple[np.ndarray, float]:
+    """LJ forces and potential energy (truncated, unshifted).
+
+    Returns (forces[n,3], potential_energy).
+    """
+    params = params or LJParams()
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError("positions must be (n, 3)")
+    i, j = neighbor_pairs(positions, box, params.rcut)
+    forces = np.zeros_like(positions)
+    if i.size == 0:
+        return forces, 0.0
+    delta = _minimum_image(positions[i] - positions[j], box)
+    r2 = np.einsum("ij,ij->i", delta, delta)
+    mask = r2 < params.rcut**2
+    i, j, delta, r2 = i[mask], j[mask], delta[mask], r2[mask]
+    if i.size == 0:
+        return forces, 0.0
+    s2 = params.sigma**2 / r2
+    s6 = s2**3
+    s12 = s6 * s6
+    # F = 24 eps (2 s12 - s6) / r^2 * dr
+    fmag = 24.0 * params.epsilon * (2.0 * s12 - s6) / r2
+    fvec = fmag[:, None] * delta
+    np.add.at(forces, i, fvec)
+    np.add.at(forces, j, -fvec)
+    # Energy-shifted truncation (U(rcut) = 0) so pairs crossing the cutoff
+    # do not inject energy jumps into the NVE trajectory.
+    sc6 = (params.sigma / params.rcut) ** 6
+    shift = 4.0 * params.epsilon * (sc6 * sc6 - sc6)
+    energy = float(np.sum(4.0 * params.epsilon * (s12 - s6) - shift))
+    return forces, energy
+
+
+def potential_energy(
+    positions: np.ndarray, box: float, params: LJParams | None = None
+) -> float:
+    """Total truncated LJ potential energy."""
+    return compute_forces(positions, box, params)[1]

@@ -1,0 +1,87 @@
+"""CPU core timing model (the gem5-avx Table II configuration).
+
+Derives the ADAM-sweep rate from first principles — core count, clock,
+AVX512 lane throughput, and sustained memory bandwidth — to justify the
+single ``cpu_stream_bandwidth`` constant the calibrated timing model uses:
+the vectorized ADAM is firmly memory-bound on the Table II machine, so its
+duration is traffic / bandwidth regardless of core math details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.specs import ADAM_BYTES_PER_PARAM, ADAM_FLOPS_PER_PARAM
+from repro.utils.units import GB, Bandwidth
+
+__all__ = ["CPUModel", "gem5_avx_cpu"]
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """An AVX512 multicore CPU.
+
+    Parameters
+    ----------
+    cores, clock_hz
+        Core count and frequency (Table II: 48 DerivO3 cores at 3.7 GHz).
+    flops_per_core_cycle
+        Sustained SP FLOPs per core per cycle (one AVX512 FMA pipe:
+        16 lanes x 2 = 32 peak; ~16 sustained for non-FMA-dominated
+        streams like ADAM).
+    memory_bandwidth
+        Sustained streaming bandwidth of the memory system (8 controllers
+        of DDR4-2600: ~166 GB/s peak, ~155 GB/s streaming).
+    """
+
+    cores: int = 48
+    clock_hz: float = 3.7e9
+    flops_per_core_cycle: float = 16.0
+    memory_bandwidth: Bandwidth = Bandwidth(155 * GB)
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.clock_hz <= 0:
+            raise ValueError("cores and clock must be positive")
+        if self.flops_per_core_cycle <= 0:
+            raise ValueError("flops_per_core_cycle must be positive")
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate peak FLOP/s across all cores."""
+        return self.cores * self.clock_hz * self.flops_per_core_cycle
+
+    def compute_bound_time(self, flops: float) -> float:
+        """Seconds if limited purely by arithmetic throughput."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / self.peak_flops
+
+    def memory_bound_time(self, traffic_bytes: float) -> float:
+        """Seconds if limited purely by memory bandwidth."""
+        return self.memory_bandwidth.time_for(traffic_bytes)
+
+    def adam_sweep_time(self, n_params: int) -> float:
+        """Roofline time of one full ADAM sweep over ``n_params``."""
+        if n_params <= 0:
+            raise ValueError("n_params must be positive")
+        compute = self.compute_bound_time(n_params * ADAM_FLOPS_PER_PARAM)
+        memory = self.memory_bound_time(n_params * ADAM_BYTES_PER_PARAM)
+        return max(compute, memory)
+
+    def adam_is_memory_bound(self, n_params: int = 1 << 20) -> bool:
+        """Whether the ADAM sweep sits on the memory roof (it does, by
+        ~20x, on the Table II machine — the justification for modelling
+        optimizer time as traffic/bandwidth)."""
+        compute = self.compute_bound_time(n_params * ADAM_FLOPS_PER_PARAM)
+        memory = self.memory_bound_time(n_params * ADAM_BYTES_PER_PARAM)
+        return memory >= compute
+
+    @property
+    def arithmetic_intensity_break_even(self) -> float:
+        """FLOPs/byte at which the roofline corner sits."""
+        return self.peak_flops / self.memory_bandwidth.bytes_per_second
+
+
+def gem5_avx_cpu() -> CPUModel:
+    """The Table II processor configuration."""
+    return CPUModel()

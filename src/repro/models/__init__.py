@@ -1,0 +1,32 @@
+"""Model zoo: the paper's Table III workloads.
+
+* :mod:`repro.models.specs` — :class:`ModelSpec`: architecture shape,
+  stored-parameter count (transfer volume), compute-parameter count
+  (FLOPs volume — these differ for Albert's shared layers), giant-cache
+  sizing and task metadata.
+* :mod:`repro.models.zoo` — the registry of paper configurations:
+  GPT-2 {base, medium, large, 11B}, Albert-xxlarge-v1, Bert-large-cased,
+  T5-large, GCNII.
+* :mod:`repro.models.tiny` — trainable scaled-down proxies of each family
+  for the functional (accuracy/convergence) experiments.
+"""
+
+from repro.models.specs import ModelFamily, ModelSpec
+from repro.models.zoo import (
+    MODEL_REGISTRY,
+    evaluation_models,
+    get_model,
+    gpt2_scaling_series,
+)
+from repro.models.tiny import TinyProxyConfig, make_tiny_proxy
+
+__all__ = [
+    "ModelFamily",
+    "ModelSpec",
+    "MODEL_REGISTRY",
+    "get_model",
+    "evaluation_models",
+    "gpt2_scaling_series",
+    "TinyProxyConfig",
+    "make_tiny_proxy",
+]

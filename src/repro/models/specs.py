@@ -1,0 +1,151 @@
+"""Model specifications: Table III made executable.
+
+A :class:`ModelSpec` separates the two parameter counts the timing model
+needs:
+
+* ``stored_params`` — the Table III "# Parameters" column; determines the
+  CPU<->GPU transfer volume, the optimizer-state footprint, and the giant-
+  cache size.
+* ``compute_params`` — the weights each token actually flows through per
+  forward pass.  For ordinary transformers this tracks ``stored_params``;
+  for Albert's cross-layer sharing it is roughly ``n_layers`` times larger
+  — the structural reason the paper observes Albert benefiting least from
+  TECO (computation dominates, fewer exposed-transfer cycles to hide).
+
+FLOPs accounting uses the standard dense-transformer estimate: forward
+``~= 2 * compute_params`` FLOPs per token, backward twice that.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.units import MB
+
+__all__ = ["ModelFamily", "ModelSpec"]
+
+FP32_BYTES = 4
+
+#: ADAM reads param+grad+m+v and writes param+m+v per scalar parameter.
+ADAM_BYTES_PER_PARAM = 28
+
+#: Floating-point ops per parameter for one fused ADAM update.
+ADAM_FLOPS_PER_PARAM = 12
+
+
+class ModelFamily(enum.Enum):
+    """The architectural family of a Table III workload."""
+    DECODER = "decoder"  # GPT-2 style
+    ENCODER = "encoder"  # Bert/Albert style
+    ENCODER_DECODER = "encoder-decoder"  # T5 style
+    GNN = "gnn"  # GCNII
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One evaluation workload.
+
+    Parameters mirror Table III plus the derived compute shape.
+    """
+
+    name: str
+    family: ModelFamily
+    stored_params: int
+    n_layers: int
+    hidden: int
+    n_heads: int
+    seq_len: int
+    dataset: str
+    task: str
+    metric: str
+    giant_cache_bytes: int
+    #: Parameters traversed per token per forward pass (see module doc).
+    compute_params: int
+    #: Albert-style cross-layer weight sharing.
+    shared_layers: bool = False
+    #: GNN full-graph node count (tokens-per-step for GNN FLOPs).
+    graph_nodes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stored_params <= 0 or self.compute_params <= 0:
+            raise ValueError("parameter counts must be positive")
+        if self.n_layers <= 0 or self.hidden <= 0:
+            raise ValueError("layers and hidden must be positive")
+        if self.family is not ModelFamily.GNN and self.seq_len <= 0:
+            raise ValueError("seq_len must be positive for transformers")
+        if self.family is ModelFamily.GNN and self.graph_nodes <= 0:
+            raise ValueError("GNN specs need graph_nodes")
+
+    # -- memory-side quantities --------------------------------------------
+    @property
+    def param_bytes(self) -> int:
+        """FP32 parameter tensor size — the CPU->GPU transfer volume."""
+        return self.stored_params * FP32_BYTES
+
+    @property
+    def gradient_bytes(self) -> int:
+        """FP32 gradient volume — the GPU->CPU transfer volume."""
+        return self.stored_params * FP32_BYTES
+
+    @property
+    def optimizer_state_bytes(self) -> int:
+        """ADAM first+second moments, resident in CPU memory."""
+        return 2 * self.stored_params * FP32_BYTES
+
+    # -- compute-side quantities ---------------------------------------------
+    def tokens_per_step(self, batch_size: int) -> int:
+        """Units of work per training step."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.family is ModelFamily.GNN:
+            return self.graph_nodes  # full-graph training, batch fixed
+        return batch_size * self.seq_len
+
+    def forward_flops(self, batch_size: int) -> float:
+        """Dense-compute estimate of one forward pass."""
+        tokens = self.tokens_per_step(batch_size)
+        matmul = 2.0 * self.compute_params * tokens
+        if self.family is ModelFamily.GNN:
+            # Add the A_hat @ H propagation: n^2 * hidden per layer.
+            matmul += (
+                2.0 * self.n_layers * self.graph_nodes**2 * self.hidden
+            )
+        else:
+            # Attention-score term: 2 * layers * seq * hidden per token
+            # (Q@K^T and attn@V), significant at long sequences.
+            matmul += 4.0 * self.n_layers * self.seq_len * self.hidden * tokens
+        return matmul
+
+    def backward_flops(self, batch_size: int) -> float:
+        """Backward is ~2x forward for dense layers."""
+        return 2.0 * self.forward_flops(batch_size)
+
+    @property
+    def adam_flops(self) -> float:
+        """FLOPs of one full ADAM sweep."""
+        return float(self.stored_params * ADAM_FLOPS_PER_PARAM)
+
+    @property
+    def adam_traffic_bytes(self) -> float:
+        """Memory traffic of one full ADAM sweep."""
+        return float(self.stored_params * ADAM_BYTES_PER_PARAM)
+
+    @property
+    def compute_intensity(self) -> float:
+        """FLOPs per transferred parameter byte — the single number that
+        predicts how much TECO can help (high intensity = compute-bound,
+        Albert/GPT2-11B territory)."""
+        return self.forward_flops(1) / self.param_bytes
+
+    def summary_row(self) -> tuple:
+        """A compact row for Table III-style listings."""
+        return (
+            self.name,
+            self.family.value,
+            f"{self.stored_params / 1e6:.0f}M",
+            self.n_layers,
+            self.hidden,
+            self.n_heads,
+            f"{self.giant_cache_bytes / MB:.0f}MB",
+        )

@@ -1,0 +1,92 @@
+"""Trainable tiny proxies of each Table III model family.
+
+The accuracy/convergence experiments need genuine optimization dynamics, not
+full-size models: a proxy keeps the *family* (decoder LM, encoder
+classifier, encoder-decoder, deep GCNII) and the FP32-ADAM fine-tuning
+setup, scaled to laptop size.  Metric *deltas* between the original and the
+DBA-approximated run are the reproduced quantity (see DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.specs import ModelFamily, ModelSpec
+from repro.tensor.gnn import GCNII
+from repro.tensor.nn import Module
+from repro.tensor.transformer import (
+    TinySeq2Seq,
+    TinyTransformerClassifier,
+    TinyTransformerLM,
+)
+
+__all__ = ["TinyProxyConfig", "make_tiny_proxy"]
+
+
+@dataclass(frozen=True)
+class TinyProxyConfig:
+    """Scaled-down shape for a proxy model."""
+
+    vocab: int = 64
+    dim: int = 32
+    n_heads: int = 2
+    n_layers: int = 2
+    max_seq: int = 24
+    n_classes: int = 2
+    gnn_nodes_features: int = 16
+    gnn_hidden: int = 32
+    gnn_layers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.dim % self.n_heads:
+            raise ValueError("dim must divide by n_heads")
+
+
+def make_tiny_proxy(
+    spec: ModelSpec,
+    rng: np.random.Generator,
+    config: TinyProxyConfig | None = None,
+) -> Module:
+    """Build the trainable proxy matching ``spec``'s family."""
+    cfg = config or TinyProxyConfig()
+    if spec.family is ModelFamily.DECODER:
+        return TinyTransformerLM(
+            vocab=cfg.vocab,
+            dim=cfg.dim,
+            n_heads=cfg.n_heads,
+            n_layers=cfg.n_layers,
+            max_seq=cfg.max_seq,
+            rng=rng,
+            share_layers=spec.shared_layers,
+        )
+    if spec.family is ModelFamily.ENCODER:
+        return TinyTransformerClassifier(
+            vocab=cfg.vocab,
+            dim=cfg.dim,
+            n_heads=cfg.n_heads,
+            n_layers=cfg.n_layers,
+            max_seq=cfg.max_seq,
+            n_classes=cfg.n_classes,
+            rng=rng,
+            share_layers=spec.shared_layers,
+        )
+    if spec.family is ModelFamily.ENCODER_DECODER:
+        return TinySeq2Seq(
+            vocab=cfg.vocab,
+            dim=cfg.dim,
+            n_heads=cfg.n_heads,
+            n_layers=cfg.n_layers,
+            max_seq=cfg.max_seq,
+            rng=rng,
+        )
+    if spec.family is ModelFamily.GNN:
+        return GCNII(
+            in_dim=cfg.gnn_nodes_features,
+            hidden=cfg.gnn_hidden,
+            out_dim=cfg.n_classes,
+            n_layers=cfg.gnn_layers,
+            rng=rng,
+        )
+    raise ValueError(f"unsupported family {spec.family}")

@@ -1,0 +1,192 @@
+"""The model registry: paper configurations (Table III + Section VIII-E).
+
+Stored-parameter counts and giant-cache sizes come straight from Table III;
+compute-parameter counts are derived from the architecture (``12 * hidden^2``
+per transformer block: 4h^2 attention + 8h^2 MLP), with Albert's shared
+block traversed ``n_layers`` times.
+"""
+
+from __future__ import annotations
+
+from repro.models.specs import ModelFamily, ModelSpec
+from repro.utils.units import MB
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "get_model",
+    "evaluation_models",
+    "gpt2_scaling_series",
+]
+
+
+def _block_params(hidden: int) -> int:
+    """Dense parameters of one transformer block."""
+    return 12 * hidden * hidden
+
+
+def _make_registry() -> dict[str, ModelSpec]:
+    specs = [
+        ModelSpec(
+            name="gpt2",
+            family=ModelFamily.DECODER,
+            stored_params=122_000_000,
+            n_layers=12,
+            hidden=1024,
+            n_heads=12,
+            seq_len=128,
+            dataset="wikitext",
+            task="language-modeling",
+            metric="perplexity",
+            giant_cache_bytes=324 * MB,
+            compute_params=12 * _block_params(1024),  # ~151M
+        ),
+        ModelSpec(
+            name="albert-xxlarge-v1",
+            family=ModelFamily.ENCODER,
+            stored_params=223_000_000,
+            n_layers=12,
+            hidden=4096,
+            n_heads=48,  # paper: 4x more attention heads than the others
+            seq_len=64,
+            dataset="squad-v2",
+            task="question-answering",
+            metric="F1/EM",
+            giant_cache_bytes=547 * MB,
+            # One shared block of 12*4096^2 ~ 201M, traversed 12 times:
+            compute_params=12 * _block_params(4096),  # ~2.4B
+            shared_layers=True,
+        ),
+        ModelSpec(
+            name="bert-large-cased",
+            family=ModelFamily.ENCODER,
+            stored_params=334_000_000,
+            n_layers=24,
+            hidden=1024,
+            n_heads=12,
+            seq_len=128,
+            dataset="imdb",
+            task="text-classification",
+            metric="accuracy",
+            giant_cache_bytes=817 * MB,
+            compute_params=24 * _block_params(1024),  # ~302M
+        ),
+        ModelSpec(
+            name="t5-large",
+            family=ModelFamily.ENCODER_DECODER,
+            stored_params=737_000_000,
+            n_layers=48,
+            hidden=1024,
+            n_heads=12,
+            seq_len=128,
+            dataset="wiki-summary",
+            task="summarization",
+            metric="gen-length",
+            giant_cache_bytes=2069 * MB,
+            # 48 blocks + cross-attention (4h^2) in the 24 decoder blocks:
+            compute_params=48 * _block_params(1024) + 24 * 4 * 1024 * 1024,
+        ),
+        ModelSpec(
+            name="gcnii",
+            family=ModelFamily.GNN,
+            stored_params=156_000_000,
+            n_layers=64,
+            hidden=1560,
+            n_heads=0,
+            seq_len=0,
+            dataset="wisconsin",
+            task="link-prediction",
+            metric="accuracy",
+            giant_cache_bytes=400 * MB,
+            compute_params=64 * 1560 * 1560,  # one weight matrix per layer
+            graph_nodes=251,  # Wisconsin node count
+        ),
+        # Section VIII-E scaling series ("multiple model scales provided by
+        # OpenAI ... continue to increase the model size to billion-scale").
+        ModelSpec(
+            name="gpt2-medium",
+            family=ModelFamily.DECODER,
+            stored_params=356_000_000,
+            n_layers=24,
+            hidden=1024,
+            n_heads=16,
+            seq_len=128,
+            dataset="wikitext",
+            task="language-modeling",
+            metric="perplexity",
+            giant_cache_bytes=944 * MB,
+            compute_params=24 * _block_params(1024),
+        ),
+        ModelSpec(
+            name="gpt2-large",
+            family=ModelFamily.DECODER,
+            stored_params=778_000_000,
+            n_layers=36,
+            hidden=1280,
+            n_heads=20,
+            seq_len=128,
+            dataset="wikitext",
+            task="language-modeling",
+            metric="perplexity",
+            giant_cache_bytes=2063 * MB,
+            compute_params=36 * _block_params(1280),
+        ),
+        ModelSpec(
+            name="gpt2-11b",
+            family=ModelFamily.DECODER,
+            stored_params=11_000_000_000,
+            n_layers=54,
+            hidden=4096,
+            n_heads=32,
+            seq_len=512,
+            dataset="wikitext",
+            task="language-modeling",
+            metric="perplexity",
+            giant_cache_bytes=29_170 * MB,
+            compute_params=54 * _block_params(4096),  # ~10.9B
+        ),
+        # Table VII's comparison model.
+        ModelSpec(
+            name="bert-base-uncased",
+            family=ModelFamily.ENCODER,
+            stored_params=110_000_000,
+            n_layers=12,
+            hidden=768,
+            n_heads=12,
+            seq_len=128,
+            dataset="glue-mnli",
+            task="text-classification",
+            metric="accuracy",
+            giant_cache_bytes=292 * MB,
+            compute_params=12 * _block_params(768),
+        ),
+    ]
+    return {s.name: s for s in specs}
+
+
+MODEL_REGISTRY: dict[str, ModelSpec] = _make_registry()
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a spec by name (raises KeyError with suggestions)."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
+        ) from None
+
+
+def evaluation_models() -> list[ModelSpec]:
+    """The five Figure-11/Table-IV workloads, in paper order."""
+    return [
+        MODEL_REGISTRY[n]
+        for n in ("gpt2", "albert-xxlarge-v1", "bert-large-cased", "t5-large", "gcnii")
+    ]
+
+
+def gpt2_scaling_series() -> list[ModelSpec]:
+    """The Table VI model-size sensitivity series."""
+    return [
+        MODEL_REGISTRY[n]
+        for n in ("gpt2", "gpt2-medium", "gpt2-large", "gpt2-11b")
+    ]

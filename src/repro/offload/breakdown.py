@@ -1,0 +1,97 @@
+"""Per-phase training-step breakdown (the Figure 12 decomposition).
+
+The paper breaks a step into: forward-backward time, gradient-transfer time
+*exposed to the critical path*, gradient optimizer (clipping), parameter
+optimization (ADAM), and parameter-transfer time exposed to the critical
+path.  :class:`StepBreakdown` carries exactly those five components plus
+communication-volume accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.tables import format_table
+from repro.utils.units import seconds_human
+
+__all__ = ["StepBreakdown"]
+
+
+@dataclass(frozen=True)
+class StepBreakdown:
+    """One simulated training step, in seconds per phase."""
+
+    forward: float
+    backward: float
+    grad_transfer_exposed: float
+    grad_clip: float
+    optimizer: float
+    param_transfer_exposed: float
+    #: Total bytes that crossed the interconnect (both directions).
+    wire_bytes: float = 0.0
+    #: Raw (unoverlapped) transfer time, for overhead-reduction accounting.
+    grad_transfer_raw: float = 0.0
+    param_transfer_raw: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "forward",
+            "backward",
+            "grad_transfer_exposed",
+            "grad_clip",
+            "optimizer",
+            "param_transfer_exposed",
+        ):
+            if getattr(self, name) < -1e-12:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def forward_backward(self) -> float:
+        """Forward plus backward compute time."""
+        return self.forward + self.backward
+
+    @property
+    def compute(self) -> float:
+        """All non-communication time."""
+        return self.forward_backward + self.grad_clip + self.optimizer
+
+    @property
+    def communication_exposed(self) -> float:
+        """Transfer time on the critical path — Table I's numerator."""
+        return self.grad_transfer_exposed + self.param_transfer_exposed
+
+    @property
+    def total(self) -> float:
+        """Critical-path step time (compute + exposed transfers)."""
+        return self.compute + self.communication_exposed
+
+    @property
+    def communication_fraction(self) -> float:
+        """Exposed communication as a fraction of the step."""
+        return self.communication_exposed / self.total if self.total else 0.0
+
+    def speedup_over(self, other: "StepBreakdown") -> float:
+        """``other.total / self.total`` — how much faster *this* step is."""
+        if self.total <= 0:
+            raise ValueError("cannot compute speedup of a zero-time step")
+        return other.total / self.total
+
+    def comm_overhead_reduction_vs(self, other: "StepBreakdown") -> float:
+        """Fractional reduction in exposed communication vs ``other``
+        (the paper's 'communication overhead reduced by 93.7%')."""
+        if other.communication_exposed <= 0:
+            return 0.0
+        return 1.0 - self.communication_exposed / other.communication_exposed
+
+    def report(self, title: str = "Step breakdown") -> str:
+        """Render the breakdown as a small text table."""
+        rows = [
+            ("forward-backward", seconds_human(self.forward_backward)),
+            ("grad transfer (exposed)", seconds_human(self.grad_transfer_exposed)),
+            ("gradient clip", seconds_human(self.grad_clip)),
+            ("ADAM optimizer", seconds_human(self.optimizer)),
+            ("param transfer (exposed)", seconds_human(self.param_transfer_exposed)),
+            ("total", seconds_human(self.total)),
+            ("comm fraction", f"{self.communication_fraction:.1%}"),
+        ]
+        return format_table(["phase", "time"], rows, title=title)

@@ -1,0 +1,139 @@
+"""GPU/CPU memory accounting for the offload systems.
+
+Derives, rather than hardcodes, which (model, batch) configurations fit in
+accelerator memory — the rule behind "We cannot evaluate T5-large with
+ZeRO-Offload when the batch size is 16, because it leads to an
+out-of-memory error" (Section VIII-B) and behind the batch-size ranges the
+paper evaluates ("the batch sizes are chosen to be within a certain range
+such that out-of-memory does not happen").
+
+Under ZeRO-Offload the GPU holds: FP32 parameters, the FP16 compute copy
+(mixed precision), the gradient buffer, activations (checkpoint-free
+transformer footprint), and framework workspace.  Optimizer states and
+full gradients live in CPU memory.  TECO adds no GPU footprint: the giant
+cache *is* the parameter + gradient-buffer region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.specs import ModelFamily, ModelSpec
+from repro.utils.units import GIB, MIB
+
+__all__ = ["MemoryModel", "MemoryBudget"]
+
+#: Bytes of activation state per token per layer per hidden unit for a
+#: transformer trained without activation checkpointing (attention maps,
+#: MLP intermediates, residuals; FP16 activations under mixed precision).
+ACTIVATION_BYTES_PER_TOKEN_LAYER_HIDDEN = 34
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """A memory-fit verdict for one configuration."""
+
+    fits: bool
+    required_bytes: float
+    capacity_bytes: float
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Required bytes as a fraction of capacity."""
+        return self.required_bytes / self.capacity_bytes
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Accelerator memory accounting (V100-32GB by default)."""
+
+    gpu_capacity_bytes: float = 32 * GIB
+    gradient_buffer_bytes: float = 32 * MIB
+    workspace_bytes: float = 1.5 * GIB  # CUDA context + cuDNN workspace
+    mixed_precision: bool = True
+    #: Activation checkpointing (rematerialization, paper ref [4]): only
+    #: sqrt(L) layer boundaries keep activations; the rest recompute in
+    #: backward at ~+33% backward FLOPs.
+    activation_checkpointing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gpu_capacity_bytes <= 0:
+            raise ValueError("gpu_capacity_bytes must be positive")
+
+    def activation_bytes(
+        self, spec: ModelSpec, batch: int, seq_len: int | None = None
+    ) -> float:
+        """Activation footprint of one training step.
+
+        ``seq_len`` overrides the spec's calibrated training length (e.g.
+        to evaluate the paper's full-length T5 runs); the quadratic
+        attention-map term uses it too.
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        if spec.family is ModelFamily.GNN:
+            # Full-graph: node embeddings per layer.
+            return 4.0 * spec.n_layers * spec.graph_nodes * spec.hidden
+        seq = seq_len or spec.seq_len
+        tokens = batch * seq
+        elem = 2 if self.mixed_precision else 4
+        per = ACTIVATION_BYTES_PER_TOKEN_LAYER_HIDDEN * elem // 2
+        linear = float(per * tokens * spec.n_layers * spec.hidden)
+        attn_maps = float(
+            elem * batch * max(spec.n_heads, 1) * seq * seq * spec.n_layers
+        )
+        total = linear + attn_maps
+        if self.activation_checkpointing:
+            # Keep activations only at sqrt(L) checkpoint boundaries plus
+            # one layer's worth of live recomputation state.
+            import math
+
+            kept_layers = math.ceil(math.sqrt(spec.n_layers)) + 1
+            total *= kept_layers / spec.n_layers
+        return total
+
+    @property
+    def recompute_backward_overhead(self) -> float:
+        """Extra backward-FLOPs fraction paid for checkpointing (one extra
+        forward over non-checkpointed layers ~= +33% of backward)."""
+        return 1.0 / 3.0 if self.activation_checkpointing else 0.0
+
+    def gpu_budget(
+        self, spec: ModelSpec, batch: int, seq_len: int | None = None
+    ) -> MemoryBudget:
+        """ZeRO-Offload / TECO GPU footprint for one configuration."""
+        components = {
+            "fp32_parameters": float(spec.param_bytes),
+            "fp16_compute_copy": (
+                spec.param_bytes / 2 if self.mixed_precision else 0.0
+            ),
+            "gradient_buffer": float(self.gradient_buffer_bytes),
+            "activations": self.activation_bytes(spec, batch, seq_len),
+            "workspace": float(self.workspace_bytes),
+        }
+        required = sum(components.values())
+        return MemoryBudget(
+            fits=required <= self.gpu_capacity_bytes,
+            required_bytes=required,
+            capacity_bytes=self.gpu_capacity_bytes,
+            components=components,
+        )
+
+    def cpu_bytes(self, spec: ModelSpec) -> float:
+        """CPU-side footprint: master params + gradients + ADAM states."""
+        return float(
+            spec.param_bytes
+            + spec.gradient_bytes
+            + spec.optimizer_state_bytes
+        )
+
+    def max_batch(self, spec: ModelSpec, limit: int = 512) -> int:
+        """Largest power-of-two-free batch that fits (0 if none)."""
+        best = 0
+        for batch in range(1, limit + 1):
+            if self.gpu_budget(spec, batch).fits:
+                best = batch
+            else:
+                break
+        return best

@@ -1,0 +1,195 @@
+"""Multi-GPU data-parallel extension (beyond the paper's single-GPU eval).
+
+The paper motivates TECO with the observation that large-scale data
+parallelism forces the *per-GPU* batch size down (the global batch is
+capped by convergence), which is exactly the regime where ZeRO-Offload's
+exposed transfers hurt most and DPU fails (Section II-A).  This module
+extends the step simulation to N data-parallel workers in the
+ZeRO-Offload arrangement:
+
+* every GPU computes forward/backward on its micro-batch;
+* gradients are reduce-scattered across GPUs (ring, over NVLink or PCIe
+  peer links), so each GPU owns 1/N of the gradient;
+* each GPU ships its shard to the CPU over its own CXL/PCIe link; the
+  CPU's ADAM updates the full parameter set (shard-parallel);
+* updated parameter shards return to their owner GPUs and are
+  all-gathered across GPUs.
+
+TECO applies per host link: gradient shards stream during backward and
+parameter shards stream during the (1/N-sized) ADAM sweep, with DBA on
+the parameter direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.specs import ModelSpec
+from repro.offload.breakdown import StepBreakdown
+from repro.offload.engines import (
+    STREAM_CHUNKS,
+    SystemKind,
+    _cxl_wire_volume,
+)
+from repro.offload.timing import HardwareParams
+from repro.sim import SerialLink, Simulator
+from repro.utils.units import GB, Bandwidth
+
+__all__ = ["ClusterParams", "DataParallelEngine"]
+
+
+@dataclass(frozen=True)
+class ClusterParams:
+    """Inter-GPU collective-communication parameters.
+
+    ``collective_bandwidth`` is the per-GPU bus bandwidth available to
+    ring collectives (NVLink-class by default); a ring reduce-scatter or
+    all-gather of ``s`` bytes per GPU costs ``s * (n-1)/n`` bus bytes.
+    """
+
+    n_gpus: int = 4
+    collective_bandwidth: Bandwidth = field(
+        default_factory=lambda: Bandwidth(60 * GB)
+    )
+    collective_latency: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        if self.collective_latency < 0:
+            raise ValueError("collective_latency must be non-negative")
+
+    def ring_time(self, shard_bytes_per_gpu: float) -> float:
+        """One ring collective (reduce-scatter or all-gather)."""
+        if shard_bytes_per_gpu < 0:
+            raise ValueError("bytes must be non-negative")
+        if self.n_gpus == 1:
+            return 0.0
+        moved = shard_bytes_per_gpu * (self.n_gpus - 1)
+        return self.collective_latency + self.collective_bandwidth.time_for(
+            moved
+        )
+
+
+class DataParallelEngine:
+    """N-GPU ZeRO-Offload / TECO step simulation.
+
+    ``global_batch`` is split evenly across GPUs; host links are
+    per-GPU (one CXL/PCIe attachment each), and the CPU-side optimizer
+    work parallelizes over shards (its memory bandwidth is shared, so the
+    sweep time stays that of the full parameter set).
+    """
+
+    def __init__(
+        self,
+        kind: SystemKind,
+        spec: ModelSpec,
+        global_batch: int,
+        cluster: ClusterParams | None = None,
+        hw: HardwareParams | None = None,
+        dirty_bytes: int = 2,
+    ):
+        self.kind = kind
+        self.spec = spec
+        self.cluster = cluster or ClusterParams()
+        if global_batch < self.cluster.n_gpus:
+            raise ValueError("global_batch must be >= n_gpus")
+        if global_batch % self.cluster.n_gpus:
+            raise ValueError("global_batch must divide evenly across GPUs")
+        self.global_batch = global_batch
+        self.hw = hw or HardwareParams.paper_default()
+        self.dirty_bytes = (
+            dirty_bytes if kind is SystemKind.TECO_REDUCTION else 4
+        )
+
+    @property
+    def micro_batch(self) -> int:
+        """Per-GPU batch size."""
+        return self.global_batch // self.cluster.n_gpus
+
+    def simulate_step(self) -> StepBreakdown:
+        """Simulate one data-parallel training step."""
+        spec, hw, n = self.spec, self.hw, self.cluster.n_gpus
+        micro = self.micro_batch
+        fwd = hw.forward_time(spec, micro)
+        bwd = hw.backward_time(spec, micro)
+        clip = hw.grad_clip_time(spec)
+        adam = hw.adam_time(spec)
+        shard_bytes = spec.gradient_bytes / n
+        reduce_scatter = self.cluster.ring_time(shard_bytes)
+        all_gather = self.cluster.ring_time(spec.param_bytes / n)
+
+        sim = Simulator()
+        if self.kind is SystemKind.ZERO_OFFLOAD:
+            link_bw = hw.pcie.effective_bandwidth
+        else:
+            link_bw = hw.cxl.effective_bandwidth
+        host_link = SerialLink(sim, link_bw, name="host")
+        marks: dict[str, float] = {}
+
+        def step(sim: Simulator):
+            yield sim.timeout(fwd)
+            marks["fwd_end"] = sim.now
+            if self.kind is SystemKind.ZERO_OFFLOAD:
+                yield sim.timeout(bwd)
+                marks["bwd_end"] = sim.now
+                # reduce-scatter, then each GPU's shard crosses its link.
+                yield sim.timeout(reduce_scatter)
+                yield host_link.transmit(
+                    shard_bytes, extra_delay=hw.pcie.dma_setup_latency
+                )
+                marks["grads_on_cpu"] = sim.now
+                yield sim.timeout(clip)
+                marks["clip_end"] = sim.now
+                yield sim.timeout(adam)
+                marks["adam_end"] = sim.now
+                yield host_link.transmit(
+                    spec.param_bytes / n,
+                    extra_delay=hw.pcie.dma_setup_latency,
+                )
+                yield sim.timeout(all_gather)
+                marks["params_on_gpu"] = sim.now
+            else:
+                # TECO: shard gradients stream during backward (the ring
+                # reduce-scatter pipelines bucket-by-bucket with backward
+                # too; its residual tail is charged after backward).
+                per = bwd / STREAM_CHUNKS
+                shard_wire = _cxl_wire_volume(shard_bytes, 4)
+                transfers = []
+                for _ in range(STREAM_CHUNKS):
+                    yield sim.timeout(per)
+                    transfers.append(
+                        host_link.transmit(shard_wire / STREAM_CHUNKS)
+                    )
+                marks["bwd_end"] = sim.now
+                yield sim.timeout(reduce_scatter / STREAM_CHUNKS)  # tail
+                yield sim.all_of(transfers)
+                marks["grads_on_cpu"] = sim.now
+                yield sim.timeout(clip)
+                marks["clip_end"] = sim.now
+                param_wire = _cxl_wire_volume(
+                    spec.param_bytes / n, self.dirty_bytes
+                )
+                per = adam / STREAM_CHUNKS
+                transfers = []
+                for _ in range(STREAM_CHUNKS):
+                    yield sim.timeout(per)
+                    transfers.append(
+                        host_link.transmit(param_wire / STREAM_CHUNKS)
+                    )
+                marks["adam_end"] = sim.now
+                yield sim.all_of(transfers)
+                yield sim.timeout(all_gather / STREAM_CHUNKS)  # tail
+                marks["params_on_gpu"] = sim.now
+
+        sim.process(step(sim))
+        sim.run()
+        return StepBreakdown(
+            forward=fwd,
+            backward=marks["bwd_end"] - marks["fwd_end"],
+            grad_transfer_exposed=marks["grads_on_cpu"] - marks["bwd_end"],
+            grad_clip=clip,
+            optimizer=marks["adam_end"] - marks["clip_end"],
+            param_transfer_exposed=marks["params_on_gpu"] - marks["adam_end"],
+            wire_bytes=host_link.bytes_sent,
+        )

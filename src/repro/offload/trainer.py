@@ -1,0 +1,315 @@
+"""Functional ZeRO-Offload/TECO training loop (bit-exact DBA effects).
+
+Runs real training steps of a NumPy autograd model through the exact
+offload dataflow:
+
+1. the "GPU" computes forward/backward against its *device copy* of the
+   parameters;
+2. gradients move to the CPU flat arena (Phase 3);
+3. CPU clips gradients and runs :class:`~repro.optim.FlatAdam` over the
+   master parameters (Phases 4-5);
+4. updated parameters move back to the device copy — fully for the
+   baseline and TECO-CXL (numerically identical paths), or through the
+   Aggregator -> CXL -> Disaggregator byte-merge when TECO-Reduction's DBA
+   is active, so the device copy keeps *stale high-order bytes*.
+
+This makes the accuracy/convergence impact of DBA a measured property of
+the training run, not an injected approximation — the basis of Figures 10
+and 13 and Table V.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dba import ActivationPolicy, Aggregator, DBARegister, Disaggregator
+from repro.offload.arena import FlatArena
+from repro.optim import FlatAdam, LossScaler, clip_flat_gradients, fp16_round_trip
+from repro.tensor.nn import Module
+
+__all__ = ["TrainerMode", "StepResult", "OffloadTrainer"]
+
+
+class TrainerMode(enum.Enum):
+    """Which system's dataflow the trainer follows."""
+
+    ZERO_OFFLOAD = "zero-offload"
+    TECO_CXL = "teco-cxl"  # update coherence only: numerically exact
+    TECO_REDUCTION = "teco-reduction"  # + DBA byte truncation
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one training step."""
+
+    step: int
+    loss: float
+    grad_norm: float
+    dba_active: bool
+    #: Parameter payload bytes shipped CPU->GPU this step.
+    param_payload_bytes: int
+    #: Gradient payload bytes shipped GPU->CPU this step.
+    grad_payload_bytes: int
+    #: Mixed precision: the step was skipped due to gradient overflow.
+    skipped: bool = False
+
+
+@dataclass
+class CommVolume:
+    """Cumulative communication-volume accounting."""
+
+    param_bytes: int = 0
+    grad_bytes: int = 0
+    param_bytes_full_equivalent: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total bytes shipped in both directions."""
+        return self.param_bytes + self.grad_bytes
+
+    @property
+    def param_reduction(self) -> float:
+        """Fractional parameter-volume saving vs full transfers."""
+        if self.param_bytes_full_equivalent == 0:
+            return 0.0
+        return 1.0 - self.param_bytes / self.param_bytes_full_equivalent
+
+
+class OffloadTrainer:
+    """Trains a module with the offload dataflow of the selected system.
+
+    Parameters
+    ----------
+    model
+        Any module exposing ``loss(*batch) -> Tensor``.
+    mode
+        System dataflow to follow.
+    lr, max_grad_norm
+        Optimizer settings (CPU-side ADAM + Phase-4 clipping).
+    policy
+        DBA activation policy (TECO-Reduction only; defaults to the paper's
+        ``act_aft_steps=500, dirty_bytes=2``).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        mode: TrainerMode = TrainerMode.ZERO_OFFLOAD,
+        lr: float = 1e-3,
+        max_grad_norm: float = 1.0,
+        policy: ActivationPolicy | None = None,
+        mixed_precision: bool = False,
+        loss_scaler: LossScaler | None = None,
+        accumulation_steps: int = 1,
+        lr_schedule=None,
+    ):
+        if accumulation_steps < 1:
+            raise ValueError("accumulation_steps must be >= 1")
+        self.model = model
+        self.mode = mode
+        self.arena = FlatArena(model)
+        self.optimizer = FlatAdam(self.arena.n_params, lr=lr)
+        self.max_grad_norm = max_grad_norm
+        self.policy = policy or ActivationPolicy()
+        #: The accelerator's resident parameter copy (the giant cache).
+        self.gpu_params = self.arena.snapshot()
+        self.volume = CommVolume()
+        self.step_count = 0
+        self.history: list[StepResult] = []
+        #: Section V mixed-precision flow: FP32 masters on CPU, FP16
+        #: compute copies made *on the GPU* (so the CPU->GPU transfer
+        #: stays FP32 and DBA still applies).
+        self.mixed_precision = mixed_precision
+        self.loss_scaler = (
+            (loss_scaler or LossScaler()) if mixed_precision else None
+        )
+        #: Gradient accumulation: CPU phases run every K-th micro-step
+        #: over the averaged gradients (the usual large-effective-batch
+        #: recipe when per-GPU memory caps the micro-batch).
+        self.accumulation_steps = accumulation_steps
+        self._accum = (
+            np.zeros(self.arena.n_params, dtype=np.float32)
+            if accumulation_steps > 1
+            else None
+        )
+        self._micro_step = 0
+        #: Optional per-step learning-rate schedule (repro.optim.schedule).
+        self.lr_schedule = lr_schedule
+
+    # -- the five phases -----------------------------------------------------
+    def step(self, *batch) -> StepResult:
+        """Run one full training step on ``batch``."""
+        # Phase 1-2: GPU computes against its device copy.  In mixed
+        # precision the GPU converts the FP32 copy to FP16 before compute
+        # (modelled by rounding the compute copy through FP16).
+        if self.mixed_precision:
+            self.arena.push_params(fp16_round_trip(self.gpu_params))
+        else:
+            self.arena.push_params(self.gpu_params)
+        self.model.zero_grad()
+        loss = self.model.loss(*batch)
+        loss.backward()
+
+        # Phase 3: gradients to CPU (always full precision — Section V:
+        # "gradients ... cannot apply DBA").
+        self.arena.collect_grads()
+        grad_payload = self.arena.grads.nbytes
+
+        # Gradient accumulation: only the K-th micro-step runs the CPU
+        # phases; earlier ones just bank their gradients.
+        if self._accum is not None:
+            self._accum += self.arena.grads
+            self._micro_step += 1
+            if self._micro_step < self.accumulation_steps:
+                result = StepResult(
+                    step=self.step_count,
+                    loss=float(loss.item()),
+                    grad_norm=0.0,
+                    dba_active=self.policy.active,
+                    param_payload_bytes=0,
+                    grad_payload_bytes=grad_payload,
+                    skipped=False,
+                )
+                self.volume.grad_bytes += grad_payload
+                self.history.append(result)
+                self.step_count += 1
+                return result
+            self.arena.grads[...] = self._accum / np.float32(
+                self.accumulation_steps
+            )
+            self._accum[...] = 0.0
+            self._micro_step = 0
+
+        if self.lr_schedule is not None:
+            self.lr_schedule.apply(self.optimizer, self.optimizer.step_count)
+
+        if self.mixed_precision:
+            # FP16 gradient path: grads materialize in half precision on
+            # the GPU under the loss scale; the CPU unscales.
+            scaled = fp16_round_trip(
+                self.arena.grads * np.float32(self.loss_scaler.scale)
+            )
+            overflow = self.loss_scaler.check_overflow(scaled)
+            if not self.loss_scaler.update(overflow):
+                # Skip the step (DeepSpeed behaviour on overflow).
+                result = StepResult(
+                    step=self.step_count,
+                    loss=float(loss.item()),
+                    grad_norm=float("nan"),
+                    dba_active=self.policy.active,
+                    param_payload_bytes=0,
+                    grad_payload_bytes=grad_payload,
+                    skipped=True,
+                )
+                self.volume.grad_bytes += grad_payload
+                self.history.append(result)
+                self.step_count += 1
+                return result
+            self.arena.grads[...] = scaled / np.float32(self.loss_scaler.scale)
+
+        # Phase 4: clip on CPU.
+        grad_norm = clip_flat_gradients(self.arena.grads, self.max_grad_norm)
+
+        # Phase 5: ADAM over the CPU master copy.
+        self.optimizer.step(self.arena.params, self.arena.grads)
+
+        # Listing 1: check_activation(i) after backward, before transfer.
+        dba_active = (
+            self.mode is TrainerMode.TECO_REDUCTION
+            and self.policy.check_activation(self.step_count)
+        )
+
+        # Parameter transfer back to the device copy.
+        if dba_active:
+            register = DBARegister(
+                enabled=True, dirty_bytes=self.policy.dirty_bytes
+            )
+            payload = Aggregator(register).pack_tensor(self.arena.params)
+            self.gpu_params = Disaggregator(register).merge_tensor(
+                self.gpu_params, payload
+            )
+            param_payload = payload.size
+        else:
+            self.gpu_params = self.arena.snapshot()
+            param_payload = self.arena.params.nbytes
+
+        self.volume.param_bytes += param_payload
+        self.volume.grad_bytes += grad_payload
+        self.volume.param_bytes_full_equivalent += self.arena.params.nbytes
+
+        result = StepResult(
+            step=self.step_count,
+            loss=float(loss.item()),
+            grad_norm=grad_norm,
+            dba_active=dba_active,
+            param_payload_bytes=param_payload,
+            grad_payload_bytes=grad_payload,
+        )
+        self.history.append(result)
+        self.step_count += 1
+        return result
+
+    def train(self, batches) -> list[StepResult]:
+        """Run one step per batch; batches are tuples of loss() args."""
+        return [self.step(*b) for b in batches]
+
+    # -- measurement hooks --------------------------------------------------
+    def master_snapshot(self) -> np.ndarray:
+        """Copy of the CPU master parameters (for value-change profiling)."""
+        return self.arena.snapshot()
+
+    def device_snapshot(self) -> np.ndarray:
+        """Copy of the accelerator-resident parameters."""
+        return self.gpu_params.copy()
+
+    def divergence(self) -> float:
+        """Max |master - device| — zero until DBA activates, then the
+        live measure of DBA's approximation."""
+        return float(np.max(np.abs(self.arena.params - self.gpu_params)))
+
+    @property
+    def loss_curve(self) -> list[float]:
+        """Per-step losses of the run so far."""
+        return [r.loss for r in self.history]
+
+    # -- checkpointing -----------------------------------------------------
+    def save_checkpoint(self, path) -> None:
+        """Persist everything needed to resume: CPU master parameters,
+        the device copy (which may have diverged under DBA), ADAM moments
+        and step counters, and DBA activation state."""
+        np.savez_compressed(
+            path,
+            params=self.arena.params,
+            gpu_params=self.gpu_params,
+            adam_m=self.optimizer.m,
+            adam_v=self.optimizer.v,
+            adam_steps=np.int64(self.optimizer.step_count),
+            step_count=np.int64(self.step_count),
+            dba_active=np.bool_(self.policy.active),
+            dba_activated_at=np.int64(
+                -1
+                if self.policy.activated_at is None
+                else self.policy.activated_at
+            ),
+        )
+
+    def load_checkpoint(self, path) -> None:
+        """Restore a checkpoint written by :meth:`save_checkpoint`."""
+        with np.load(path) as data:
+            if data["params"].shape != (self.arena.n_params,):
+                raise ValueError(
+                    "checkpoint parameter count does not match the model"
+                )
+            self.arena.params[...] = data["params"]
+            self.gpu_params = data["gpu_params"].copy()
+            self.optimizer.m[...] = data["adam_m"]
+            self.optimizer.v[...] = data["adam_v"]
+            self.optimizer.step_count = int(data["adam_steps"])
+            self.step_count = int(data["step_count"])
+            self.policy._active = bool(data["dba_active"])
+            at = int(data["dba_activated_at"])
+            self.policy._activated_at = None if at < 0 else at
+        self.arena.push_params(self.gpu_params)

@@ -1,0 +1,44 @@
+"""Gradient clipping (ZeRO-Offload Phase 4: performed on CPU).
+
+"After collecting all gradients at the end of a training step, the
+gradients are clipped to be bounded within a certain range on CPU."
+Global-norm clipping, matching DeepSpeed's default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["clip_grad_norm", "clip_flat_gradients"]
+
+
+def clip_flat_gradients(grads: np.ndarray, max_norm: float) -> float:
+    """Scale a flat gradient arena in place to global norm <= ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = float(np.sqrt(np.sum(grads.astype(np.float64) ** 2)))
+    if total > max_norm and total > 0:
+        grads *= np.float32(max_norm / total)
+    return total
+
+
+def clip_grad_norm(params: list[Tensor], max_norm: float) -> float:
+    """Global-norm clipping over Tensor parameter gradients, in place."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    sq = 0.0
+    for p in params:
+        if p.grad is not None:
+            sq += float(np.sum(p.grad.astype(np.float64) ** 2))
+    total = float(np.sqrt(sq))
+    if total > max_norm and total > 0:
+        scale = np.float32(max_norm / total)
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return total

@@ -1,0 +1,89 @@
+"""Learning-rate schedules (the fine-tuning recipes of the Table III runs).
+
+Bert-style fine-tuning uses linear warmup followed by linear decay;
+the schedules here mutate an optimizer's ``lr`` in place each step, the
+way DeepSpeed's client schedulers drive the CPU-ADAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LRSchedule", "ConstantLR", "WarmupLinearDecay", "CosineDecay"]
+
+
+class LRSchedule:
+    """Base: maps a step index to a learning rate."""
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate for step ``step``."""
+        raise NotImplementedError
+
+    def apply(self, optimizer, step: int) -> float:
+        """Set ``optimizer.lr`` for this step; returns the value."""
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        lr = self.lr_at(step)
+        optimizer.lr = lr
+        return lr
+
+
+@dataclass(frozen=True)
+class ConstantLR(LRSchedule):
+    """A flat learning rate."""
+    base_lr: float
+
+    def __post_init__(self) -> None:
+        if self.base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+
+    def lr_at(self, step: int) -> float:
+        """Always ``base_lr``."""
+        return self.base_lr
+
+
+@dataclass(frozen=True)
+class WarmupLinearDecay(LRSchedule):
+    """Linear warmup to ``base_lr`` over ``warmup_steps``, then linear
+    decay to zero at ``total_steps`` (the Bert/GLUE recipe)."""
+
+    base_lr: float
+    warmup_steps: int
+    total_steps: int
+
+    def __post_init__(self) -> None:
+        if self.base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        if not 0 <= self.warmup_steps < self.total_steps:
+            raise ValueError("need 0 <= warmup_steps < total_steps")
+
+    def lr_at(self, step: int) -> float:
+        """Linear warmup, then linear decay to zero."""
+        if step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        remaining = max(0, self.total_steps - step)
+        return self.base_lr * remaining / (self.total_steps - self.warmup_steps)
+
+
+@dataclass(frozen=True)
+class CosineDecay(LRSchedule):
+    """Cosine decay from ``base_lr`` to ``min_lr`` over ``total_steps``."""
+
+    base_lr: float
+    total_steps: int
+    min_lr: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_lr <= 0 or self.total_steps <= 0:
+            raise ValueError("base_lr and total_steps must be positive")
+        if not 0 <= self.min_lr <= self.base_lr:
+            raise ValueError("need 0 <= min_lr <= base_lr")
+
+    def lr_at(self, step: int) -> float:
+        """Half-cosine interpolation from base_lr to min_lr."""
+        import math
+
+        t = min(step, self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1 + math.cos(math.pi * t)
+        )

@@ -1,0 +1,20 @@
+"""Profilers reproducing the paper's motivation studies (Section III).
+
+* :mod:`repro.profiling.value_change` — Observation 2 / Figure 2: how many
+  bytes of each FP32 parameter/gradient change value across consecutive
+  training steps, classified into the paper's three cases.
+* :mod:`repro.profiling.comm_profile` — Observation 1 / Table I: fraction
+  of training time spent in communication exposed to the critical path.
+"""
+
+from repro.profiling.comm_profile import communication_fraction_rows
+from repro.profiling.value_change import (
+    ValueChangeProfiler,
+    classify_snapshot_series,
+)
+
+__all__ = [
+    "ValueChangeProfiler",
+    "classify_snapshot_series",
+    "communication_fraction_rows",
+]

@@ -1,0 +1,41 @@
+"""Communication-fraction profiling (Section III, Table I).
+
+The paper's ``communication.py``: measure, per batch size, the fraction of
+ZeRO-Offload training time spent in tensor transfers exposed to the
+critical path.
+"""
+
+from __future__ import annotations
+
+from repro.models.specs import ModelSpec
+from repro.offload.engines import ZeROOffloadEngine
+from repro.offload.timing import HardwareParams
+
+__all__ = ["communication_fraction_rows"]
+
+
+def communication_fraction_rows(
+    spec: ModelSpec,
+    batch_sizes: tuple[int, ...] = (4, 8, 16, 20),
+    hw: HardwareParams | None = None,
+) -> list[dict[str, float]]:
+    """The Table I rows: exposed-communication percentage per batch size.
+
+    Returns one dict per batch with the fraction and its split between
+    gradient- and parameter-side exposure.
+    """
+    if not batch_sizes:
+        raise ValueError("need at least one batch size")
+    rows = []
+    for batch in batch_sizes:
+        bd = ZeROOffloadEngine(spec, batch, hw).simulate_step()
+        rows.append(
+            {
+                "batch": float(batch),
+                "comm_fraction": bd.communication_fraction,
+                "grad_fraction": bd.grad_transfer_exposed / bd.total,
+                "param_fraction": bd.param_transfer_exposed / bd.total,
+                "step_time": bd.total,
+            }
+        )
+    return rows

@@ -1,0 +1,100 @@
+"""Value-change byte profiling (Section III, Figure 2).
+
+The paper's ``valuechanges.py``: across two consecutive training steps,
+among the parameters (or gradients) that changed value at all, classify
+each 4-byte word by which bytes changed — (1) only the last byte, (2) only
+the last two bytes, (3) anything else — and track the distribution over
+training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.bits import classify_word_changes
+
+__all__ = ["StepChangeStats", "ValueChangeProfiler", "classify_snapshot_series"]
+
+
+@dataclass(frozen=True)
+class StepChangeStats:
+    """Per-step value-change distribution (fractions of *changed* words)."""
+
+    step: int
+    changed_fraction: float
+    last_byte: float
+    last_two_bytes: float
+    other: float
+
+    @property
+    def low_bytes_dominant(self) -> bool:
+        """Whether >=50% of changes are confined to the low two bytes —
+        the condition that makes ``dirty_bytes=2`` DBA profitable."""
+        return (self.last_byte + self.last_two_bytes) >= 0.5
+
+
+def _stats_from_counts(step: int, counts: dict[str, int]) -> StepChangeStats:
+    total = counts["changed"] + counts["unchanged"]
+    changed = max(counts["changed"], 1)
+    return StepChangeStats(
+        step=step,
+        changed_fraction=counts["changed"] / max(total, 1),
+        last_byte=counts["last_byte"] / changed,
+        last_two_bytes=counts["last_two_bytes"] / changed,
+        other=counts["other"] / changed,
+    )
+
+
+class ValueChangeProfiler:
+    """Streaming profiler: feed one snapshot per training step.
+
+    Keeps only the previous snapshot, so profiling long runs stays O(n)
+    memory in the tensor size, not the run length.
+    """
+
+    def __init__(self) -> None:
+        self._prev: np.ndarray | None = None
+        self._step = 0
+        self.history: list[StepChangeStats] = []
+
+    def observe(self, snapshot: np.ndarray) -> StepChangeStats | None:
+        """Record a snapshot; returns stats vs the previous one (None for
+        the first call)."""
+        snapshot = np.ascontiguousarray(snapshot, dtype=np.float32)
+        stats = None
+        if self._prev is not None:
+            if snapshot.shape != self._prev.shape:
+                raise ValueError("snapshot shape changed mid-profile")
+            counts = classify_word_changes(self._prev, snapshot)
+            stats = _stats_from_counts(self._step, counts)
+            self.history.append(stats)
+        self._prev = snapshot.copy()
+        self._step += 1
+        return stats
+
+    def mean_fractions(self) -> dict[str, float]:
+        """Run-average of the three Figure-2 cases."""
+        if not self.history:
+            raise ValueError("no step pairs observed yet")
+        return {
+            "last_byte": float(np.mean([s.last_byte for s in self.history])),
+            "last_two_bytes": float(
+                np.mean([s.last_two_bytes for s in self.history])
+            ),
+            "other": float(np.mean([s.other for s in self.history])),
+            "changed_fraction": float(
+                np.mean([s.changed_fraction for s in self.history])
+            ),
+        }
+
+
+def classify_snapshot_series(
+    snapshots: list[np.ndarray],
+) -> list[StepChangeStats]:
+    """Batch form: classify every consecutive snapshot pair."""
+    profiler = ValueChangeProfiler()
+    for snap in snapshots:
+        profiler.observe(snap)
+    return profiler.history

@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+A minimal process-oriented engine (in the style of SimPy, reimplemented from
+scratch) used to model the CPU/GPU/CXL timeline of one training step:
+processes are Python generators that yield waitable events; resources model
+serialized links and bounded queues.
+
+Public objects
+--------------
+Simulator
+    Event loop with a monotonic virtual clock.
+SimEvent
+    One-shot waitable event.
+Process
+    Generator-driven process; itself waitable.
+Resource
+    Counting semaphore with FIFO fairness.
+Store
+    Bounded FIFO item channel (producer/consumer).
+SerialLink
+    Serialized transmission resource with bandwidth + per-transfer latency.
+"""
+
+from repro.sim.engine import Interrupt, Process, SimEvent, Simulator
+from repro.sim.resources import Resource, SerialLink, Store
+
+__all__ = [
+    "Simulator",
+    "SimEvent",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "Store",
+    "SerialLink",
+]

@@ -1,0 +1,171 @@
+"""Simulation resources: semaphores, bounded FIFO stores, serial links.
+
+``SerialLink`` is the workhorse: CXL/PCIe are serial buses, so cache lines
+"go through the link one after another in a stream manner" (Section VIII-A).
+A transfer request occupies the link for ``size / bandwidth`` seconds after
+the preceding request completes; the completion event additionally waits for
+the propagation latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import SimEvent, Simulator
+from repro.utils.units import Bandwidth
+
+__all__ = ["Resource", "Store", "SerialLink"]
+
+
+class Resource:
+    """Counting semaphore with FIFO fairness.
+
+    ``request()`` returns an event that fires when a slot is granted;
+    ``release()`` hands the slot to the next waiter.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: deque[SimEvent] = deque()
+
+    def request(self) -> SimEvent:
+        """Request a slot; the event fires when granted."""
+        ev = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Free a slot, waking the next waiter if any."""
+        if self.in_use <= 0:
+            raise RuntimeError("release without matching request")
+        if self._waiters:
+            self._waiters.popleft().succeed(self)
+        else:
+            self.in_use -= 1
+
+
+class Store:
+    """Bounded FIFO channel of items (producer/consumer coupling).
+
+    Models structures like the CXL root port's 128-entry pending queue:
+    producers block (their ``put`` event stays pending) while the queue is
+    full, which is how queue back-pressure reaches the CPU pipeline.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[SimEvent] = deque()
+        self._putters: deque[tuple[SimEvent, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the channel is at capacity."""
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> SimEvent:
+        """Offer an item; the event fires on acceptance."""
+        ev = self.sim.event()
+        if self._getters:
+            # Hand directly to a waiting consumer.
+            self._getters.popleft().succeed(item)
+            ev.succeed(None)
+        elif not self.is_full:
+            self.items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> SimEvent:
+        """Take an item; the event fires with it when available."""
+        ev = self.sim.event()
+        if self.items:
+            ev.succeed(self.items.popleft())
+            if self._putters:
+                put_ev, item = self._putters.popleft()
+                self.items.append(item)
+                put_ev.succeed(None)
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class SerialLink:
+    """A serialized transmission medium with bandwidth and latency.
+
+    Transfers are granted link occupancy in request order; a transfer of
+    ``n`` bytes holds the wire for ``n / bandwidth`` and its completion
+    event fires ``latency`` later (cut-through, not store-and-forward:
+    latency does not occupy the wire).
+
+    Attributes
+    ----------
+    busy_time
+        Total wire-occupancy seconds (for utilization accounting).
+    bytes_sent
+        Total payload bytes transferred.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: Bandwidth,
+        latency: float = 0.0,
+        name: str = "link",
+    ):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.name = name
+        self._wire_free_at = 0.0
+        self.busy_time = 0.0
+        self.bytes_sent = 0
+        self.transfers = 0
+
+    def transmit(self, n_bytes: float, extra_delay: float = 0.0) -> SimEvent:
+        """Schedule a transfer; returns the delivery-complete event.
+
+        ``extra_delay`` models per-transfer processing (e.g. the 1 ns
+        Aggregator latency) added before the payload reaches the wire.
+        """
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        start = max(self.sim.now + extra_delay, self._wire_free_at)
+        duration = self.bandwidth.time_for(n_bytes)
+        self._wire_free_at = start + duration
+        self.busy_time += duration
+        self.bytes_sent += n_bytes
+        self.transfers += 1
+        done_at = self._wire_free_at + self.latency
+        ev = self.sim.event()
+        ev.succeed(n_bytes, delay=done_at - self.sim.now)
+        return ev
+
+    @property
+    def free_at(self) -> float:
+        """Virtual time at which the wire next becomes idle."""
+        return self._wire_free_at
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``horizon`` during which the wire was occupied."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return min(1.0, self.busy_time / horizon)

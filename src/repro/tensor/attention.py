@@ -1,0 +1,66 @@
+"""Multi-head attention (self- and cross-) for the transformer models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.nn import Linear, Module
+from repro.tensor.tensor import Tensor
+
+__all__ = ["MultiHeadAttention", "causal_mask"]
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Lower-triangular boolean mask for decoder self-attention."""
+    if seq_len <= 0:
+        raise ValueError("seq_len must be positive")
+    return np.tril(np.ones((seq_len, seq_len), dtype=bool))
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product multi-head attention.
+
+    Supports self-attention (``kv = None``) and cross-attention (encoder
+    memory passed as ``kv``), with an optional boolean mask broadcast over
+    ``(batch, heads, q_len, k_len)``.
+    """
+
+    def __init__(self, dim: int, n_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if dim % n_heads:
+            raise ValueError(f"dim {dim} not divisible by {n_heads} heads")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.q_proj = Linear(dim, dim, rng)
+        self.k_proj = Linear(dim, dim, rng)
+        self.v_proj = Linear(dim, dim, rng)
+        self.out_proj = Linear(dim, dim, rng)
+        self._scale = 1.0 / float(np.sqrt(self.head_dim))
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.n_heads, self.head_dim).swapaxes(1, 2)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        b, h, t, d = x.shape
+        return x.swapaxes(1, 2).reshape(b, t, h * d)
+
+    def forward(
+        self,
+        x: Tensor,
+        kv: Tensor | None = None,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Attend ``x`` to itself (or to ``kv`` for cross-attention)."""
+        source = kv if kv is not None else x
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(source))
+        v = self._split_heads(self.v_proj(source))
+        scores = (q @ k.swapaxes(-1, -2)) * self._scale
+        if mask is not None:
+            scores = F.where_mask(scores, mask, -1e9)
+        attn = F.softmax(scores, axis=-1)
+        ctx = attn @ v
+        return self.out_proj(self._merge_heads(ctx))

@@ -1,0 +1,162 @@
+"""Stateless neural-network operations on :class:`~repro.tensor.Tensor`.
+
+Numerically stable implementations of the activations, normalizations and
+losses the Table III model families need (GELU transformers, ReLU GCNII,
+cross-entropy LM / classification objectives).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = [
+    "relu",
+    "gelu",
+    "tanh",
+    "sigmoid",
+    "exp",
+    "log",
+    "sqrt",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "mse_loss",
+    "dropout",
+    "embedding",
+    "where_mask",
+]
+
+_SQRT_2_OVER_PI = np.float32(np.sqrt(2.0 / np.pi))
+_GELU_COEF = np.float32(0.044715)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.apply_elementwise(
+        lambda d: np.maximum(d, 0.0),
+        lambda d, _y: (d > 0).astype(np.float32),
+    )
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.apply_elementwise(np.tanh, lambda _d, y: 1.0 - y * y)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.apply_elementwise(
+        lambda d: 1.0 / (1.0 + np.exp(-d)), lambda _d, y: y * (1.0 - y)
+    )
+
+
+def exp(x: Tensor) -> Tensor:
+    """Elementwise exponential."""
+    return x.apply_elementwise(np.exp, lambda _d, y: y)
+
+
+def log(x: Tensor) -> Tensor:
+    """Elementwise natural logarithm."""
+    return x.apply_elementwise(np.log, lambda d, _y: 1.0 / d)
+
+
+def sqrt(x: Tensor) -> Tensor:
+    """Elementwise square root."""
+    return x.apply_elementwise(np.sqrt, lambda _d, y: 0.5 / y)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Tanh-approximated GELU (the BERT/GPT-2 activation)."""
+
+    def fwd(d: np.ndarray) -> np.ndarray:
+        inner = _SQRT_2_OVER_PI * (d + _GELU_COEF * d**3)
+        return 0.5 * d * (1.0 + np.tanh(inner))
+
+    def bwd(d: np.ndarray, _y: np.ndarray) -> np.ndarray:
+        inner = _SQRT_2_OVER_PI * (d + _GELU_COEF * d**3)
+        t = np.tanh(inner)
+        dinner = _SQRT_2_OVER_PI * (1.0 + 3.0 * _GELU_COEF * d**2)
+        return 0.5 * (1.0 + t) + 0.5 * d * (1.0 - t * t) * dinner
+
+    return x.apply_elementwise(fwd, bwd)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    e = exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    e = exp(shifted)
+    return shifted - log(e.sum(axis=axis, keepdims=True))
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, ignore_index: int | None = None
+) -> Tensor:
+    """Mean negative log likelihood over integer class targets.
+
+    ``logits``: ``(..., n_classes)``; ``targets``: integer array matching
+    the leading shape.  Positions equal to ``ignore_index`` contribute
+    nothing (padding tokens).
+    """
+    targets = np.asarray(targets)
+    if targets.shape != logits.shape[:-1]:
+        raise ValueError(
+            f"targets shape {targets.shape} != logits leading "
+            f"shape {logits.shape[:-1]}"
+        )
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+    else:
+        keep = np.ones(flat_targets.shape, dtype=bool)
+    n_keep = max(int(keep.sum()), 1)
+    logp = log_softmax(flat_logits, axis=-1)
+    rows = np.arange(flat_targets.size)
+    safe_targets = np.where(keep, flat_targets, 0)
+    picked = logp[rows, safe_targets]  # Tensor indexing (grad-tracked)
+    weights = Tensor(keep.astype(np.float32) / np.float32(n_keep))
+    return -(picked * weights).sum()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    diff = pred - Tensor(target)
+    return (diff * diff).mean()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout p must be in [0, 1)")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(np.float32) / np.float32(1.0 - p)
+    return x * Tensor(mask)
+
+
+def embedding(table: Tensor, ids: np.ndarray) -> Tensor:
+    """Row lookup with scatter-add backward (shared rows accumulate)."""
+    ids = np.asarray(ids)
+    if np.any(ids < 0) or np.any(ids >= table.shape[0]):
+        raise IndexError("token id out of vocabulary range")
+    return table[ids]
+
+
+def where_mask(x: Tensor, mask: np.ndarray, fill: float) -> Tensor:
+    """Set positions where ``mask`` is False to ``fill`` (no grad there).
+
+    Used for attention masking: masked logits get a large negative fill.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    keep = Tensor(mask.astype(np.float32))
+    filler = Tensor(np.where(mask, 0.0, fill).astype(np.float32))
+    return x * keep + filler

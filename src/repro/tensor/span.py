@@ -1,0 +1,107 @@
+"""Span extraction (Squad-style QA) — the Albert workload's task shape.
+
+A :class:`TinySpanExtractor` is an encoder with start/end position heads,
+trained with the standard sum of start and end cross-entropies; metrics
+are Squad's Exact Match and token-level F1, so Table V's Albert row can be
+reported in the paper's own metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.nn import Embedding, LayerNorm, Linear, Module
+from repro.tensor.tensor import Tensor, no_grad
+from repro.tensor.transformer import TransformerStack, _positions
+
+__all__ = ["TinySpanExtractor", "span_f1", "span_exact_match"]
+
+
+def _span_tokens(start: int, end: int) -> set[int]:
+    return set(range(start, end + 1))
+
+
+def span_f1(
+    pred: tuple[int, int], gold: tuple[int, int]
+) -> float:
+    """Token-overlap F1 between two (start, end) spans (inclusive)."""
+    p = _span_tokens(*pred)
+    g = _span_tokens(*gold)
+    overlap = len(p & g)
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(p)
+    recall = overlap / len(g)
+    return 2 * precision * recall / (precision + recall)
+
+
+def span_exact_match(pred: tuple[int, int], gold: tuple[int, int]) -> float:
+    """1.0 if the spans are identical, else 0.0."""
+    return 1.0 if pred == gold else 0.0
+
+
+class TinySpanExtractor(Module):
+    """Encoder + start/end heads (the Bert/Albert QA architecture)."""
+
+    def __init__(
+        self,
+        vocab: int,
+        dim: int,
+        n_heads: int,
+        n_layers: int,
+        max_seq: int,
+        rng: np.random.Generator,
+        share_layers: bool = True,
+    ):
+        super().__init__()
+        self.tok = Embedding(vocab, dim, rng)
+        self.pos = Embedding(max_seq, dim, rng)
+        self.stack = TransformerStack(
+            dim, n_heads, n_layers, rng, share_layers=share_layers
+        )
+        self.ln_f = LayerNorm(dim)
+        self.span_head = Linear(dim, 2, rng)  # start & end logits
+        self.vocab = vocab
+        self.max_seq = max_seq
+
+    def forward(self, ids: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Start and end logits over positions."""
+        ids = np.asarray(ids)
+        _, t = ids.shape
+        x = self.tok(ids) + _positions(t, self.pos)
+        x = self.ln_f(self.stack(x))
+        logits = self.span_head(x)  # (b, t, 2)
+        return logits[:, :, 0], logits[:, :, 1]
+
+    def loss(
+        self, ids: np.ndarray, starts: np.ndarray, ends: np.ndarray
+    ) -> Tensor:
+        """Sum of start and end cross-entropies."""
+        start_logits, end_logits = self(ids)
+        return F.cross_entropy(start_logits, starts) + F.cross_entropy(
+            end_logits, ends
+        )
+
+    def predict_spans(self, ids: np.ndarray) -> list[tuple[int, int]]:
+        """Greedy start/end prediction (end constrained to >= start)."""
+        with no_grad():
+            start_logits, end_logits = self(ids)
+        spans = []
+        for s_row, e_row in zip(start_logits.data, end_logits.data):
+            start = int(np.argmax(s_row))
+            end = start + int(np.argmax(e_row[start:]))
+            spans.append((start, end))
+        return spans
+
+    def evaluate(
+        self, ids: np.ndarray, starts: np.ndarray, ends: np.ndarray
+    ) -> dict[str, float]:
+        """Squad-style metrics over a batch: mean F1 and Exact Match."""
+        preds = self.predict_spans(ids)
+        golds = list(zip(np.asarray(starts).tolist(), np.asarray(ends).tolist()))
+        f1 = float(np.mean([span_f1(p, g) for p, g in zip(preds, golds)]))
+        em = float(
+            np.mean([span_exact_match(p, g) for p, g in zip(preds, golds)])
+        )
+        return {"f1": f1 * 100, "em": em * 100}

@@ -1,0 +1,292 @@
+"""Transformer blocks and compact end-to-end models.
+
+The Table III model families are all transformers: GPT-2 (decoder-only),
+Bert/Albert (encoder-only), T5 (encoder-decoder).  The blocks here follow
+the pre-LayerNorm arrangement; :class:`TinyTransformerLM` and
+:class:`TinyTransformerClassifier` are the trainable proxies used for the
+functional experiments (value-change statistics, DBA accuracy impact).
+Albert-style cross-layer parameter sharing is supported via ``share_layers``
+— the property that gives Albert its high compute/parameter ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.attention import MultiHeadAttention, causal_mask
+from repro.tensor.nn import Dropout, Embedding, LayerNorm, Linear, Module, ModuleList
+from repro.tensor.tensor import Tensor
+
+__all__ = [
+    "TransformerBlock",
+    "TransformerStack",
+    "TinyTransformerLM",
+    "TinyTransformerClassifier",
+    "TinySeq2Seq",
+]
+
+
+class FeedForward(Module):
+    """Position-wise MLP with GELU."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.fc1 = Linear(dim, hidden, rng)
+        self.fc2 = Linear(hidden, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Two-layer GELU MLP."""
+        return self.fc2(F.gelu(self.fc1(x)))
+
+
+class TransformerBlock(Module):
+    """Pre-LN transformer block: attention + MLP with residuals."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        rng: np.random.Generator,
+        mlp_ratio: int = 4,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        self.ln1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, n_heads, rng)
+        self.ln2 = LayerNorm(dim)
+        self.mlp = FeedForward(dim, mlp_ratio * dim, rng)
+        self.drop = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Attention and MLP sublayers with residuals."""
+        x = x + self.drop(self.attn(self.ln1(x), mask=mask))
+        x = x + self.drop(self.mlp(self.ln2(x)))
+        return x
+
+
+class TransformerStack(Module):
+    """A stack of blocks, optionally sharing one block's weights
+    Albert-style (same module applied ``n_layers`` times)."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        n_layers: int,
+        rng: np.random.Generator,
+        share_layers: bool = False,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        if n_layers <= 0:
+            raise ValueError("n_layers must be positive")
+        self.n_layers = n_layers
+        self.share_layers = share_layers
+        n_unique = 1 if share_layers else n_layers
+        self.blocks = ModuleList(
+            [
+                TransformerBlock(dim, n_heads, rng, dropout=dropout)
+                for _ in range(n_unique)
+            ]
+        )
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Apply the (possibly shared) blocks in sequence."""
+        for i in range(self.n_layers):
+            block = self.blocks[0] if self.share_layers else self.blocks[i]
+            x = block(x, mask=mask)
+        return x
+
+
+def _positions(seq_len: int, table: Embedding) -> Tensor:
+    if seq_len > table.vocab:
+        raise ValueError(
+            f"sequence length {seq_len} exceeds positional table {table.vocab}"
+        )
+    return table(np.arange(seq_len))
+
+
+class TinyTransformerLM(Module):
+    """Decoder-only (GPT-2 style) causal language model."""
+
+    def __init__(
+        self,
+        vocab: int,
+        dim: int,
+        n_heads: int,
+        n_layers: int,
+        max_seq: int,
+        rng: np.random.Generator,
+        share_layers: bool = False,
+    ):
+        super().__init__()
+        self.tok = Embedding(vocab, dim, rng)
+        self.pos = Embedding(max_seq, dim, rng)
+        self.stack = TransformerStack(
+            dim, n_heads, n_layers, rng, share_layers=share_layers
+        )
+        self.ln_f = LayerNorm(dim)
+        self.head = Linear(dim, vocab, rng, bias=False)
+        self.vocab = vocab
+        self.max_seq = max_seq
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        """Next-token logits for a batch of windows."""
+        ids = np.asarray(ids)
+        _, t = ids.shape
+        x = self.tok(ids) + _positions(t, self.pos)
+        x = self.stack(x, mask=causal_mask(t))
+        return self.head(self.ln_f(x))
+
+    def loss(self, ids: np.ndarray) -> Tensor:
+        """Next-token prediction loss over a batch of token windows."""
+        logits = self(ids[:, :-1])
+        return F.cross_entropy(logits, ids[:, 1:])
+
+    def perplexity(self, ids: np.ndarray) -> float:
+        """exp(mean NLL) on a held-out batch."""
+        from repro.tensor.tensor import no_grad
+
+        with no_grad():
+            return float(np.exp(self.loss(ids).item()))
+
+
+class TinyTransformerClassifier(Module):
+    """Encoder-only (Bert/Albert style) sequence classifier."""
+
+    def __init__(
+        self,
+        vocab: int,
+        dim: int,
+        n_heads: int,
+        n_layers: int,
+        max_seq: int,
+        n_classes: int,
+        rng: np.random.Generator,
+        share_layers: bool = False,
+    ):
+        super().__init__()
+        self.tok = Embedding(vocab, dim, rng)
+        self.pos = Embedding(max_seq, dim, rng)
+        self.stack = TransformerStack(
+            dim, n_heads, n_layers, rng, share_layers=share_layers
+        )
+        self.ln_f = LayerNorm(dim)
+        self.head = Linear(dim, n_classes, rng)
+        self.n_classes = n_classes
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        """Class logits from mean-pooled encodings."""
+        ids = np.asarray(ids)
+        _, t = ids.shape
+        x = self.tok(ids) + _positions(t, self.pos)
+        x = self.stack(x)
+        pooled = self.ln_f(x).mean(axis=1)
+        return self.head(pooled)
+
+    def loss(self, ids: np.ndarray, labels: np.ndarray) -> Tensor:
+        """Cross-entropy over class labels."""
+        return F.cross_entropy(self(ids), labels)
+
+    def accuracy(self, ids: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of samples classified correctly."""
+        from repro.tensor.tensor import no_grad
+
+        with no_grad():
+            pred = np.argmax(self(ids).data, axis=-1)
+        return float(np.mean(pred == np.asarray(labels)))
+
+
+class TinySeq2Seq(Module):
+    """Encoder-decoder (T5 style) with cross-attention, for the
+    summarization-proxy experiments."""
+
+    def __init__(
+        self,
+        vocab: int,
+        dim: int,
+        n_heads: int,
+        n_layers: int,
+        max_seq: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.tok = Embedding(vocab, dim, rng)
+        self.pos = Embedding(max_seq, dim, rng)
+        self.encoder = TransformerStack(dim, n_heads, n_layers, rng)
+        self.dec_self = ModuleList(
+            [TransformerBlock(dim, n_heads, rng) for _ in range(n_layers)]
+        )
+        self.dec_cross = ModuleList(
+            [MultiHeadAttention(dim, n_heads, rng) for _ in range(n_layers)]
+        )
+        self.dec_ln = ModuleList([LayerNorm(dim) for _ in range(n_layers)])
+        self.ln_f = LayerNorm(dim)
+        self.head = Linear(dim, vocab, rng, bias=False)
+        self.vocab = vocab
+
+    def forward(self, src_ids: np.ndarray, tgt_ids: np.ndarray) -> Tensor:
+        """Decoder logits given source and target prefixes."""
+        src_ids = np.asarray(src_ids)
+        tgt_ids = np.asarray(tgt_ids)
+        _, ts = src_ids.shape
+        _, tt = tgt_ids.shape
+        memory = self.encoder(self.tok(src_ids) + _positions(ts, self.pos))
+        x = self.tok(tgt_ids) + _positions(tt, self.pos)
+        mask = causal_mask(tt)
+        for block, cross, ln in zip(self.dec_self, self.dec_cross, self.dec_ln):
+            x = block(x, mask=mask)
+            x = x + cross(ln(x), kv=memory)
+        return self.head(self.ln_f(x))
+
+    def loss(self, src_ids: np.ndarray, tgt_ids: np.ndarray) -> Tensor:
+        """Teacher-forced next-token cross-entropy."""
+        logits = self(src_ids, tgt_ids[:, :-1])
+        return F.cross_entropy(logits, tgt_ids[:, 1:])
+
+    def generate(
+        self,
+        src_ids: np.ndarray,
+        bos: int,
+        eos: int,
+        max_len: int = 16,
+    ) -> list[list[int]]:
+        """Greedy decoding until ``eos`` or ``max_len`` tokens.
+
+        Returns the generated token lists (without the BOS prefix) —
+        their average length is the paper's T5 "Gen-length" metric.
+        """
+        from repro.tensor.tensor import no_grad
+
+        if max_len <= 0:
+            raise ValueError("max_len must be positive")
+        src_ids = np.asarray(src_ids)
+        batch = src_ids.shape[0]
+        out = np.full((batch, 1), bos, dtype=np.int64)
+        finished = np.zeros(batch, dtype=bool)
+        with no_grad():
+            for _ in range(max_len):
+                logits = self(src_ids, out)
+                nxt = np.argmax(logits.data[:, -1, :], axis=-1)
+                nxt = np.where(finished, eos, nxt)
+                out = np.concatenate([out, nxt[:, None]], axis=1)
+                finished |= nxt == eos
+                if finished.all():
+                    break
+        sequences: list[list[int]] = []
+        for row in out[:, 1:]:
+            toks: list[int] = []
+            for t in row.tolist():
+                if t == eos:
+                    break
+                toks.append(t)
+            sequences.append(toks)
+        return sequences
+
+    def mean_generation_length(
+        self, src_ids: np.ndarray, bos: int, eos: int, max_len: int = 16
+    ) -> float:
+        """Average generated length — Table V's "Gen-length" metric."""
+        seqs = self.generate(src_ids, bos=bos, eos=eos, max_len=max_len)
+        return float(np.mean([len(s) for s in seqs]))

@@ -1,0 +1,29 @@
+"""Write-back trace generation and CXL replay (the paper's pipeline).
+
+The paper's evaluation flow is: simulate the CPU-side ADAM update in
+gem5-avx to collect a main-memory write-back trace
+(``model_name_gem5_avx.sh``), then replay the trace through the CXL
+emulator to get the transfer time not overlapped with compute
+(``process.py``).  This package is that pipeline:
+
+* :mod:`repro.trace.generator` — produces the write-back trace of a
+  blocked, vectorized ADAM sweep, either analytically (streaming model) or
+  through the real cache hierarchy;
+* :mod:`repro.trace.replay` — replays a trace over a CXL link model and
+  reports exposed (non-overlapped) transfer time and wire volume.
+"""
+
+from repro.trace.generator import (
+    adam_writeback_trace,
+    gradient_writeback_trace,
+    simulate_sweep_writebacks,
+)
+from repro.trace.replay import ReplayResult, replay_trace
+
+__all__ = [
+    "adam_writeback_trace",
+    "gradient_writeback_trace",
+    "simulate_sweep_writebacks",
+    "ReplayResult",
+    "replay_trace",
+]

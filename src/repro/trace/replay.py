@@ -1,0 +1,97 @@
+"""CXL trace replay (the artifact's ``process.py`` stand-in).
+
+Replays a write-back trace over the serial CXL link: each line enters the
+wire no earlier than its write-back timestamp and no earlier than the
+previous line's wire departure (cache lines stream "one after another").
+The replayer reports the transfer time *not overlapped* with the producing
+computation — exactly what the paper adds to the gem5 simulation time.
+
+The queueing recursion ``depart[i] = max(arrive[i], depart[i-1]) + t_line``
+is vectorized via the standard transformation
+``depart[i] = t_line*(i+1) + max_{j<=i}(arrive[j] - t_line*j)``
+(a running maximum), so multi-million-line traces replay in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.interconnect.cxl import CXLLinkModel
+from repro.memsim.trace import WritebackTrace
+
+__all__ = ["ReplayResult", "replay_trace"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying one trace over the link."""
+
+    #: Time the last line finished crossing the link.
+    finish_time: float
+    #: Producer-side compute end (last write-back timestamp).
+    compute_end: float
+    #: Link time exposed beyond the compute window.
+    exposed_time: float
+    #: Total wire occupancy.
+    wire_time: float
+    #: Payload+header bytes on the wire.
+    wire_bytes: int
+    n_lines: int
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of wire time hidden under the producer's compute."""
+        if self.wire_time == 0:
+            return 1.0
+        return 1.0 - self.exposed_time / self.wire_time
+
+
+def replay_trace(
+    trace: WritebackTrace,
+    link: CXLLinkModel | None = None,
+    dirty_bytes: int = 4,
+    start_time: float = 0.0,
+) -> ReplayResult:
+    """Replay ``trace`` over ``link``; returns exposure accounting.
+
+    Parameters
+    ----------
+    trace
+        Write-back events (time-sorted).
+    link
+        CXL link model (paper default if omitted).
+    dirty_bytes
+        DBA setting: 4 = full lines, 2 = aggregated payloads.
+    start_time
+        Wire availability time (e.g. end of earlier traffic).
+    """
+    link = link or CXLLinkModel.paper_default()
+    n = len(trace)
+    if n == 0:
+        return ReplayResult(
+            finish_time=start_time,
+            compute_end=start_time,
+            exposed_time=0.0,
+            wire_time=0.0,
+            wire_bytes=0,
+            n_lines=0,
+        )
+    t_line = link.line_transfer_time(dirty_bytes)
+    arrive = np.maximum(trace.times, start_time)
+    idx = np.arange(n, dtype=np.float64)
+    head_start = np.maximum.accumulate(arrive - idx * t_line)
+    depart_last = float(t_line * n + head_start[-1])
+    compute_end = float(arrive[-1])
+    from repro.interconnect.packets import packet_wire_bytes, CACHE_LINE_BYTES
+
+    per_line_bytes = packet_wire_bytes(CACHE_LINE_BYTES * dirty_bytes // 4)
+    return ReplayResult(
+        finish_time=depart_last,
+        compute_end=compute_end,
+        exposed_time=max(0.0, depart_last - compute_end),
+        wire_time=t_line * n,
+        wire_bytes=per_line_bytes * n,
+        n_lines=n,
+    )

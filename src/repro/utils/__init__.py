@@ -1,0 +1,65 @@
+"""Shared low-level utilities for the TECO reproduction.
+
+Submodules
+----------
+bits
+    Bit/byte-level views of FP32 tensors (dirty-byte masks, merges, diffs).
+units
+    Physical-unit helpers (bandwidths, times, sizes).
+rng
+    Deterministic seeded random-generator factory.
+tables
+    Plain-text table rendering for experiment reports.
+"""
+
+from repro.utils.bits import (
+    byte_change_mask,
+    changed_byte_count,
+    classify_word_changes,
+    float32_to_words,
+    low_byte_mask,
+    merge_low_bytes,
+    words_to_float32,
+)
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+from repro.utils.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    NS,
+    US,
+    MS,
+    SEC,
+    Bandwidth,
+    bytes_human,
+    seconds_human,
+)
+
+__all__ = [
+    "byte_change_mask",
+    "changed_byte_count",
+    "classify_word_changes",
+    "float32_to_words",
+    "low_byte_mask",
+    "merge_low_bytes",
+    "words_to_float32",
+    "make_rng",
+    "format_table",
+    "GB",
+    "GIB",
+    "KB",
+    "KIB",
+    "MB",
+    "MIB",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "Bandwidth",
+    "bytes_human",
+    "seconds_human",
+]

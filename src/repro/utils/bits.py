@@ -1,0 +1,160 @@
+"""Bit- and byte-level manipulation of FP32 tensors.
+
+TECO's dirty-byte aggregation (DBA) operates on the *least significant* N
+bytes of each 32-bit word: the paper observes (Section III, Figure 2) that
+across consecutive training steps most parameter updates only perturb the
+low-order mantissa bytes, so shipping only those bytes over CXL halves the
+parameter transfer volume while the stale high-order bytes on the
+accelerator remain valid.
+
+Everything here is vectorized over NumPy arrays: an FP32 array is reinterpreted
+as a ``uint32`` word array (no copy) and manipulated with integer masks.  Word
+significance, not memory endianness, defines which bytes are "last": byte 0 is
+the least significant byte of the word, matching the paper's description of
+the sign/exponent living in the most significant bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "float32_to_words",
+    "words_to_float32",
+    "low_byte_mask",
+    "merge_low_bytes",
+    "byte_change_mask",
+    "changed_byte_count",
+    "classify_word_changes",
+]
+
+#: Number of bytes in an FP32 word.
+WORD_BYTES = 4
+
+
+def float32_to_words(x: np.ndarray) -> np.ndarray:
+    """Reinterpret an FP32 array as ``uint32`` words (zero-copy view).
+
+    Parameters
+    ----------
+    x
+        Array of dtype ``float32``.  Must be C-contiguous.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint32`` view with the same shape.
+    """
+    x = np.ascontiguousarray(x)
+    if x.dtype != np.float32:
+        raise TypeError(f"expected float32, got {x.dtype}")
+    return x.view(np.uint32)
+
+
+def words_to_float32(w: np.ndarray) -> np.ndarray:
+    """Reinterpret a ``uint32`` word array as FP32 (zero-copy view)."""
+    w = np.ascontiguousarray(w)
+    if w.dtype != np.uint32:
+        raise TypeError(f"expected uint32, got {w.dtype}")
+    return w.view(np.float32)
+
+
+def low_byte_mask(n_bytes: int) -> np.uint32:
+    """Mask selecting the least significant ``n_bytes`` bytes of a word.
+
+    ``n_bytes=2`` (the paper's default ``dirty_bytes``) yields ``0x0000FFFF``.
+    ``n_bytes`` of 0 and 4 are valid degenerate cases (empty / full mask).
+    """
+    if not 0 <= n_bytes <= WORD_BYTES:
+        raise ValueError(f"n_bytes must be in [0, {WORD_BYTES}], got {n_bytes}")
+    if n_bytes == WORD_BYTES:
+        return np.uint32(0xFFFFFFFF)
+    return np.uint32((1 << (8 * n_bytes)) - 1)
+
+
+def merge_low_bytes(
+    stale: np.ndarray, fresh: np.ndarray, n_bytes: int
+) -> np.ndarray:
+    """Reconstruct values the way the Disaggregator does (Section V-C).
+
+    Takes the least significant ``n_bytes`` bytes of each word from ``fresh``
+    (the payload shipped over CXL) and the remaining high-order bytes from
+    ``stale`` (the copy already resident in accelerator memory).
+
+    Parameters
+    ----------
+    stale, fresh
+        FP32 arrays of identical shape.
+    n_bytes
+        Dirty-byte length configured in the DBA register.
+
+    Returns
+    -------
+    numpy.ndarray
+        New FP32 array; inputs are not modified.
+    """
+    if stale.shape != fresh.shape:
+        raise ValueError(f"shape mismatch: {stale.shape} vs {fresh.shape}")
+    mask = low_byte_mask(n_bytes)
+    sw = float32_to_words(stale)
+    fw = float32_to_words(fresh)
+    merged = (sw & ~mask) | (fw & mask)
+    return words_to_float32(merged)
+
+
+def byte_change_mask(old: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Per-word bitmap of which of the 4 bytes changed value.
+
+    Returns a ``uint8`` array of the same shape where bit *k* is set iff
+    byte *k* (k-th least significant byte) differs between ``old`` and
+    ``new``.
+    """
+    diff = float32_to_words(old) ^ float32_to_words(new)
+    b0 = (diff & np.uint32(0x000000FF)) != 0
+    b1 = (diff & np.uint32(0x0000FF00)) != 0
+    b2 = (diff & np.uint32(0x00FF0000)) != 0
+    b3 = (diff & np.uint32(0xFF000000)) != 0
+    return (
+        b0.astype(np.uint8)
+        | (b1.astype(np.uint8) << 1)
+        | (b2.astype(np.uint8) << 2)
+        | (b3.astype(np.uint8) << 3)
+    )
+
+
+def changed_byte_count(old: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Number of value-changed bytes per word (0..4)."""
+    mask = byte_change_mask(old, new)
+    # popcount over 4 bits
+    return (
+        (mask & 1) + ((mask >> 1) & 1) + ((mask >> 2) & 1) + ((mask >> 3) & 1)
+    ).astype(np.uint8)
+
+
+def classify_word_changes(old: np.ndarray, new: np.ndarray) -> dict[str, int]:
+    """Classify changed words into the paper's three Figure-2 cases.
+
+    Among words whose value changed at all:
+
+    * ``last_byte``     — only the least significant byte changed (Case 1);
+    * ``last_two_bytes``— changes confined to the two least significant
+      bytes, with byte 1 changed (Case 2);
+    * ``other``         — any change touching bytes 2 or 3 (Case 3).
+
+    Returns a dict with those three counts plus ``changed`` (total changed
+    words) and ``unchanged``.
+    """
+    mask = byte_change_mask(old, new)
+    changed = mask != 0
+    n_changed = int(np.count_nonzero(changed))
+    case1 = int(np.count_nonzero(mask == 0b0001))
+    low2 = (mask != 0) & ((mask & 0b1100) == 0)
+    case2 = int(np.count_nonzero(low2)) - case1
+    other = n_changed - case1 - case2
+    return {
+        "last_byte": case1,
+        "last_two_bytes": case2,
+        "other": other,
+        "changed": n_changed,
+        "unchanged": int(mask.size - n_changed),
+    }

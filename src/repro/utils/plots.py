@@ -1,0 +1,91 @@
+"""Terminal plotting: ASCII line charts and bar charts.
+
+The paper's *figures* (loss curves, speedup bars, distribution stacks)
+render as text so the benchmark harness can regenerate them without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_line_chart", "ascii_bar_chart"]
+
+
+def ascii_line_chart(
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    Series are resampled to ``width`` columns; each gets a distinct glyph.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 3:
+        raise ValueError("chart too small")
+    glyphs = "*o+x#@%&"
+    values = [v for s in series.values() for v in s]
+    if not values:
+        raise ValueError("series are empty")
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def resample(data: Sequence[float]) -> list[float]:
+        n = len(data)
+        if n == 1:
+            return [data[0]] * width
+        return [
+            data[min(int(i * (n - 1) / (width - 1) + 0.5), n - 1)]
+            for i in range(width)
+        ]
+
+    for glyph, (name, data) in zip(glyphs, series.items()):
+        for col, v in enumerate(resample(list(data))):
+            row = height - 1 - int((v - lo) / span * (height - 1) + 0.5)
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:>10.4g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{lo:>10.4g} +" + "-" * width)
+    legend = "   ".join(
+        f"{g} {name}" for g, name in zip(glyphs, series.keys())
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 48,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render labelled values as horizontal bars."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("need at least one bar")
+    if width < 4:
+        raise ValueError("width too small")
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("values must contain a positive maximum")
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(value / peak * width)) if value > 0 else ""
+        lines.append(
+            f"{label.ljust(label_w)} |{bar.ljust(width)} {value:.3g}{unit}"
+        )
+    return "\n".join(lines)

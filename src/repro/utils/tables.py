@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment reports.
+
+Benchmarks print the same rows the paper's tables report; this module keeps
+that output aligned and consistent without pulling in a formatting
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Parameters
+    ----------
+    headers
+        Column names.
+    rows
+        Iterable of row tuples; floats are formatted with ``floatfmt``.
+    title
+        Optional title line printed above the table.
+    floatfmt
+        ``format()`` spec applied to float cells.
+    """
+    str_rows = [[_cell(v, floatfmt) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

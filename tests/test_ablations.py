@@ -1,0 +1,84 @@
+"""Tests for the extra ablation experiments (DPU, granularity, dirty
+bytes, interconnect generation)."""
+
+import pytest
+
+from repro.experiments.ablation_dirty_bytes import run_dirty_bytes_ablation
+from repro.experiments.ablation_dpu import (
+    dpu_requires_large_batch,
+    run_dpu_ablation,
+)
+from repro.experiments.ablation_granularity import (
+    run_buffer_granularity,
+    run_stream_granularity,
+)
+from repro.experiments.ablation_interconnect import run_interconnect_ablation
+
+
+class TestDPUAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_dpu_ablation(batch_sizes=(1, 4, 16, 64))
+
+    def test_hiding_grows_with_batch(self, rows):
+        assert dpu_requires_large_batch(rows)
+
+    def test_teco_wins_at_small_batch(self, rows):
+        assert rows[0]["teco_speedup"] > rows[0]["dpu_speedup"]
+
+    def test_dpu_never_exceeds_full_hiding(self, rows):
+        for r in rows:
+            assert 0.0 <= r["dpu_hidden_fraction"] <= 1.0 + 1e-9
+
+
+class TestGranularityAblation:
+    def test_whole_tensor_exposes_everything(self):
+        rows = run_stream_granularity(chunk_lines=(1, 0))
+        fine, coarse = rows
+        assert fine["overlap"] > 0.5
+        assert coarse["overlap"] < 0.05
+        assert fine["exposed"] < coarse["exposed"]
+
+    def test_streaming_robust_to_chunk_size(self):
+        """Chunking the fluid stream from 1 to 4096 lines barely changes
+        exposure (bandwidth-limited, not granularity-limited) — which also
+        validates the engines' STREAM_CHUNKS approximation."""
+        rows = run_stream_granularity(chunk_lines=(1, 4096))
+        assert rows[0]["exposed"] == pytest.approx(
+            rows[1]["exposed"], rel=0.05
+        )
+
+    def test_buffer_sweep_shapes(self):
+        rows = run_buffer_granularity(buffer_sizes=(2 * 2**20, 256 * 2**20))
+        # Finer buffers pay more DMA setups under synchronous flushing.
+        assert rows[0]["grad_exposed"] >= rows[1]["grad_exposed"]
+
+
+class TestDirtyBytesAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_dirty_bytes_ablation(n_steps=40)
+
+    def test_volume_monotone(self, rows):
+        volumes = [r["wire_bytes"] for r in rows]
+        assert volumes == sorted(volumes)
+
+    def test_four_bytes_exact(self, rows):
+        by = {r["dirty_bytes"]: r for r in rows}
+        assert by[4]["perplexity_delta"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_speedup_ordering(self, rows):
+        by = {r["dirty_bytes"]: r for r in rows}
+        assert by[1]["speedup"] >= by[4]["speedup"]
+
+
+class TestInterconnectAblation:
+    def test_speedup_shrinks_with_faster_links(self):
+        rows = run_interconnect_ablation()
+        speedups = [r["speedup"] for r in rows]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_teco_still_helps_on_gen5(self):
+        rows = run_interconnect_ablation()
+        assert rows[-1]["gen"] == "GEN5"
+        assert rows[-1]["speedup"] > 1.05

@@ -1,0 +1,128 @@
+"""Property-based autograd fuzzing: random expression graphs vs numerical
+gradients.
+
+Hypothesis composes random computation graphs from the op vocabulary the
+models actually use; every graph's analytic gradient must match central
+finite differences.  This catches interaction bugs (broadcasting +
+reductions + reuse) that per-op tests cannot.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, functional as F, no_grad
+
+UNARY_OPS = ["relu", "gelu", "tanh", "sigmoid", "neg", "square"]
+BINARY_OPS = ["add", "mul", "sub"]
+REDUCE_OPS = ["sum", "mean"]
+
+
+def apply_unary(name, t):
+    """Apply one unary op by name."""
+    if name == "neg":
+        return -t
+    if name == "square":
+        return t * t
+    return getattr(F, name)(t)
+
+
+def apply_binary(name, a, b):
+    """Apply one binary op by name."""
+    if name == "add":
+        return a + b
+    if name == "mul":
+        return a * b
+    return a - b
+
+
+@st.composite
+def expression_programs(draw):
+    """A random straight-line program over a (4, 3) input tensor."""
+    n_steps = draw(st.integers(1, 6))
+    steps = []
+    n_values = 1  # value 0 is the input
+    for _ in range(n_steps):
+        kind = draw(st.sampled_from(["unary", "binary"]))
+        if kind == "unary":
+            steps.append(
+                ("unary", draw(st.sampled_from(UNARY_OPS)),
+                 draw(st.integers(0, n_values - 1)))
+            )
+        else:
+            steps.append(
+                ("binary", draw(st.sampled_from(BINARY_OPS)),
+                 draw(st.integers(0, n_values - 1)),
+                 draw(st.integers(0, n_values - 1)))
+            )
+        n_values += 1
+    reduce_op = draw(st.sampled_from(REDUCE_OPS))
+    return steps, reduce_op
+
+
+def evaluate(program, x: Tensor):
+    """Run a program on tensor x, returning the scalar loss tensor."""
+    steps, reduce_op = program
+    values = [x]
+    for step in steps:
+        if step[0] == "unary":
+            _, name, src = step
+            values.append(apply_unary(name, values[src]))
+        else:
+            _, name, a, b = step
+            values.append(apply_binary(name, values[a], values[b]))
+    return getattr(values[-1], reduce_op)()
+
+
+class TestAutogradFuzz:
+    @given(expression_programs(), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_graph_gradients_match_numerical(self, program, seed):
+        rng = np.random.default_rng(seed)
+        x0 = (rng.standard_normal((4, 3)) * 0.8).astype(np.float32)
+
+        t = Tensor(x0.copy(), requires_grad=True)
+        loss = evaluate(program, t)
+        loss.backward()
+        analytic = t.grad.astype(np.float64)
+
+        def f(arr):
+            with no_grad():
+                return evaluate(program, Tensor(arr.astype(np.float32))).item()
+
+        eps = 1e-3
+        numeric = np.zeros_like(x0, dtype=np.float64)
+        flat = x0.astype(np.float64)
+        for i in range(flat.size):
+            orig = flat.reshape(-1)[i]
+            flat.reshape(-1)[i] = orig + eps
+            hi = f(flat)
+            flat.reshape(-1)[i] = orig - eps
+            lo = f(flat)
+            flat.reshape(-1)[i] = orig
+            numeric.reshape(-1)[i] = (hi - lo) / (2 * eps)
+
+        # ReLU kinks make exact matching impossible at the kink; compare
+        # with a tolerance that respects fp32 forward precision.
+        np.testing.assert_allclose(analytic, numeric, rtol=0.05, atol=5e-2)
+
+    @given(expression_programs(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_backward_is_deterministic(self, program, seed):
+        rng = np.random.default_rng(seed)
+        x0 = (rng.standard_normal((4, 3)) * 0.5).astype(np.float32)
+        grads = []
+        for _ in range(2):
+            t = Tensor(x0.copy(), requires_grad=True)
+            evaluate(program, t).backward()
+            grads.append(t.grad.copy())
+        np.testing.assert_array_equal(grads[0], grads[1])
+
+    @given(expression_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_no_grad_leaves_no_graph(self, program):
+        x = Tensor(np.ones((4, 3), dtype=np.float32), requires_grad=True)
+        with no_grad():
+            out = evaluate(program, x)
+        assert not out.requires_grad

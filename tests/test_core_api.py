@@ -1,0 +1,127 @@
+"""Tests for the TECO public API (TecoConfig / TecoSystem / Listing 1)."""
+
+import numpy as np
+import pytest
+
+from repro.coherence import CoherenceMode
+from repro.core import TecoConfig, TecoSystem, check_activation, cxl_fence
+from repro.core.api import make_timing_simulator
+from repro.dba.activation import default_policy
+from repro.interconnect import CacheLinePayload, CXLController
+from repro.offload import TrainerMode
+from repro.tensor.transformer import TinyTransformerLM
+
+
+def tiny_lm(seed=0):
+    return TinyTransformerLM(
+        vocab=16, dim=16, n_heads=2, n_layers=1, max_seq=12,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def lm_batch(seed=1):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, 16, (4, 10)),)
+
+
+class TestTecoConfig:
+    def test_defaults_match_paper(self):
+        cfg = TecoConfig()
+        assert cfg.act_aft_steps == 500
+        assert cfg.dirty_bytes == 2
+        assert cfg.coherence is CoherenceMode.UPDATE
+        assert cfg.trainer_mode is TrainerMode.TECO_REDUCTION
+
+    def test_no_dba_maps_to_cxl_mode(self):
+        assert TecoConfig(use_dba=False).trainer_mode is TrainerMode.TECO_CXL
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TecoConfig(act_aft_steps=-1)
+        with pytest.raises(ValueError):
+            TecoConfig(dirty_bytes=0)
+        with pytest.raises(ValueError):
+            TecoConfig(gradient_buffer_bytes=0)
+
+    def test_policy_factory_independent(self):
+        cfg = TecoConfig(act_aft_steps=1)
+        p1, p2 = cfg.policy(), cfg.policy()
+        p1.check_activation(5)
+        assert not p2.active
+
+
+class TestTecoSystem:
+    def test_giant_cache_sizing_rule(self):
+        model = tiny_lm()
+        system = TecoSystem(model)
+        assert system.giant_cache_bytes >= model.num_parameters() * 4
+        assert system.address_map.is_giant_cached(
+            system.address_map.regions["parameters"].base
+        )
+
+    def test_listing1_flow(self):
+        """The two-line user API: check_activation between backward and
+        step, DBA flipping on at the configured step."""
+        system = TecoSystem(tiny_lm(), TecoConfig(act_aft_steps=2))
+        batch = lm_batch()
+        for i in range(4):
+            system.train_step(*batch)
+            active = system.check_activation(i)
+            assert active == (i >= 2)
+        assert system.dba_active
+        assert system.aggregator.register.enabled
+        assert system.disaggregator.register.enabled
+
+    def test_summary(self):
+        system = TecoSystem(tiny_lm())
+        s = system.summary()
+        assert s["parameters"] == system.model.num_parameters()
+        assert s["coherence"] == "update"
+        assert s["steps_run"] == 0
+
+    def test_training_reduces_loss(self):
+        system = TecoSystem(tiny_lm(), TecoConfig(learning_rate=3e-3))
+        batch = lm_batch()
+        first = system.train_step(*batch).loss
+        for _ in range(30):
+            last = system.train_step(*batch).loss
+        assert last < first
+
+    def test_empty_model_rejected(self):
+        from repro.tensor.nn import Module
+
+        class Empty(Module):
+            pass
+
+        with pytest.raises(ValueError):
+            TecoSystem(Empty())
+
+
+class TestModuleLevelAPI:
+    def test_check_activation_uses_default_policy(self):
+        default_policy.reset()
+        try:
+            assert not check_activation(0)
+            assert check_activation(default_policy.act_aft_steps)
+        finally:
+            default_policy.reset()
+
+    def test_cxl_fence_over_controllers(self):
+        sim = make_timing_simulator()
+        c1 = CXLController(sim, name="a")
+        c2 = CXLController(sim, name="b")
+        done = []
+
+        def main(sim):
+            yield c1.send_line(CacheLinePayload(0))
+            yield c2.send_line(CacheLinePayload(64))
+            yield cxl_fence([c1, c2])
+            done.append(sim.now)
+
+        sim.process(main(sim))
+        sim.run()
+        assert len(done) == 1 and done[0] > 0
+
+    def test_cxl_fence_requires_controllers(self):
+        with pytest.raises(ValueError):
+            cxl_fence([])

@@ -1,0 +1,268 @@
+"""Tests for the PCIe/CXL interconnect models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect import (
+    CXL_EFFICIENCY,
+    CacheLinePayload,
+    CXLController,
+    CXLLinkModel,
+    CXLPacket,
+    MessageType,
+    PCIeGen,
+    PCIeLinkModel,
+    packet_wire_bytes,
+)
+from repro.sim import Simulator
+from repro.utils.units import GB, NS
+
+
+class TestPCIe:
+    def test_gen3_x16_is_about_16_gbps(self):
+        link = PCIeLinkModel.paper_default()
+        gbps = link.raw_bandwidth.bytes_per_second / GB
+        assert 15.0 < gbps < 16.1  # paper rounds to "16 GB/s"
+
+    def test_lane_scaling(self):
+        x8 = PCIeLinkModel(gen=PCIeGen.GEN3, lanes=8)
+        x16 = PCIeLinkModel(gen=PCIeGen.GEN3, lanes=16)
+        assert x16.raw_bandwidth.bytes_per_second == pytest.approx(
+            2 * x8.raw_bandwidth.bytes_per_second
+        )
+
+    def test_gen_scaling(self):
+        g3 = PCIeLinkModel(gen=PCIeGen.GEN3, lanes=16)
+        g5 = PCIeLinkModel(gen=PCIeGen.GEN5, lanes=16)
+        assert g5.raw_bandwidth.bytes_per_second == pytest.approx(
+            4 * g3.raw_bandwidth.bytes_per_second
+        )
+
+    def test_dma_setup_dominates_small_copies(self):
+        link = PCIeLinkModel.paper_default()
+        assert link.dma_transfer_time(64) == pytest.approx(
+            link.dma_setup_latency, rel=1e-3
+        )
+
+    def test_dma_zero_bytes_free(self):
+        assert PCIeLinkModel.paper_default().dma_transfer_time(0) == 0.0
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            PCIeLinkModel(lanes=3)
+
+    def test_large_copy_time_magnitude(self):
+        """A 1.3 GB parameter tensor takes ~100 ms on PCIe 3.0 (Section I)."""
+        link = PCIeLinkModel.paper_default()
+        t = link.dma_transfer_time(1.3 * GB)
+        assert 0.05 < t < 0.2
+
+
+class TestPackets:
+    def test_full_line_payload(self):
+        p = CacheLinePayload(address=0x1000, dirty_bytes=4)
+        assert p.size_bytes == 64
+        assert not p.is_aggregated
+
+    def test_dba_half_line(self):
+        p = CacheLinePayload(address=0x1000, dirty_bytes=2)
+        assert p.size_bytes == 32
+        assert p.is_aggregated
+
+    def test_unaligned_address_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLinePayload(address=0x1001)
+
+    def test_control_packet_has_header_only(self):
+        pkt = CXLPacket(MessageType.INVALIDATE)
+        assert pkt.wire_bytes == packet_wire_bytes(0)
+
+    def test_data_packet_requires_payload(self):
+        with pytest.raises(ValueError):
+            CXLPacket(MessageType.FLUSH_DATA)
+
+    def test_control_packet_rejects_payload(self):
+        with pytest.raises(ValueError):
+            CXLPacket(
+                MessageType.ACK, payloads=(CacheLinePayload(0),)
+            )
+
+    def test_dba_flag_consistency(self):
+        agg = CacheLinePayload(0, dirty_bytes=2)
+        full = CacheLinePayload(0, dirty_bytes=4)
+        with pytest.raises(ValueError):
+            CXLPacket(MessageType.FLUSH_DATA, payloads=(agg,), dba_flag=False)
+        with pytest.raises(ValueError):
+            CXLPacket(MessageType.FLUSH_DATA, payloads=(full,), dba_flag=True)
+
+    def test_two_aggregated_payloads_share_slot(self):
+        """Two 32-byte DBA payloads fit one 64-byte slot: one header."""
+        a = CacheLinePayload(0, dirty_bytes=2)
+        b = CacheLinePayload(64, dirty_bytes=2)
+        pkt = CXLPacket(MessageType.FLUSH_DATA, payloads=(a, b), dba_flag=True)
+        full = CXLPacket(
+            MessageType.FLUSH_DATA, payloads=(CacheLinePayload(0),)
+        )
+        assert pkt.wire_bytes == full.wire_bytes
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    @settings(max_examples=50)
+    def test_wire_bytes_monotonic(self, payload):
+        assert packet_wire_bytes(payload + 1) >= packet_wire_bytes(payload)
+
+
+class TestCXLLinkModel:
+    def test_efficiency_applied(self):
+        m = CXLLinkModel.paper_default()
+        assert m.effective_bandwidth.bytes_per_second == pytest.approx(
+            m.pcie.raw_bandwidth.bytes_per_second * CXL_EFFICIENCY
+        )
+
+    def test_line_time_about_4ns(self):
+        """Section VIII-D: 'each cache line takes around 4 ns'."""
+        t = CXLLinkModel.paper_default().line_transfer_time()
+        assert 3 * NS < t < 6 * NS
+
+    def test_dba_line_cheaper(self):
+        m = CXLLinkModel.paper_default()
+        assert m.line_transfer_time(2) < m.line_transfer_time(4)
+
+    def test_stream_linear(self):
+        m = CXLLinkModel.paper_default()
+        assert m.stream_transfer_time(100) == pytest.approx(
+            100 * m.line_transfer_time()
+        )
+
+
+class TestCXLController:
+    def _mk(self, **kw):
+        sim = Simulator()
+        ctrl = CXLController(sim, **kw)
+        return sim, ctrl
+
+    def test_lines_stream_serially(self):
+        sim, ctrl = self._mk()
+
+        def producer(sim):
+            for i in range(10):
+                yield ctrl.send_line(CacheLinePayload(i * 64))
+            return (yield ctrl.fence())
+
+        p = sim.process(producer(sim))
+        sim.run()
+        assert ctrl.lines_delivered == 10
+        assert ctrl.payload_bytes_delivered == 640
+        wire_time = ctrl.model.line_transfer_time() * 10
+        # fence fires after last delivery (wire + latency)
+        assert p.value == pytest.approx(wire_time + ctrl.model.latency, rel=1e-6)
+
+    def test_fence_with_no_traffic_fires_immediately(self):
+        sim, ctrl = self._mk()
+        done = []
+
+        def main(sim):
+            t = yield ctrl.fence()
+            done.append(t)
+
+        sim.process(main(sim))
+        sim.run()
+        assert done == [0.0]
+
+    def test_back_pressure_when_queue_full(self):
+        sim, ctrl = self._mk(queue_depth=4)
+        accepted = []
+
+        def producer(sim):
+            for i in range(100):
+                yield ctrl.send_line(CacheLinePayload(i * 64))
+                accepted.append(sim.now)
+
+        sim.process(producer(sim))
+        sim.run()
+        # later acceptances must be paced by the drain rate, not instantaneous
+        assert accepted[-1] > accepted[0]
+        assert ctrl.lines_delivered == 100
+
+    def test_per_line_delay_adds_latency(self):
+        sim1, c1 = self._mk()
+        sim2, c2 = self._mk(per_line_delay=1e-9)
+
+        def producer(sim, ctrl):
+            yield ctrl.send_line(CacheLinePayload(0))
+            return (yield ctrl.fence())
+
+        p1 = sim1.process(producer(sim1, c1))
+        p2 = sim2.process(producer(sim2, c2))
+        sim1.run()
+        sim2.run()
+        assert p2.value == pytest.approx(p1.value + 1e-9, rel=1e-9)
+
+    def test_outstanding_counter(self):
+        sim, ctrl = self._mk()
+
+        def producer(sim):
+            yield ctrl.send_line(CacheLinePayload(0))
+            assert ctrl.outstanding == 1
+            yield ctrl.fence()
+            assert ctrl.outstanding == 0
+
+        sim.process(producer(sim))
+        sim.run()
+
+    def test_dba_halves_wire_volume(self):
+        """The DBA path should move ~half the bytes of the full path."""
+        totals = {}
+        for db in (4, 2):
+            sim, ctrl = self._mk()
+
+            def producer(sim, ctrl=ctrl, db=db):
+                for i in range(64):
+                    yield ctrl.send_line(CacheLinePayload(i * 64, dirty_bytes=db))
+                yield ctrl.fence()
+
+            sim.process(producer(sim))
+            sim.run()
+            totals[db] = ctrl.payload_bytes_delivered
+        assert totals[2] * 2 == totals[4]
+
+
+class TestRetryModel:
+    def test_spec_ber_negligible(self):
+        """At the PCIe-specified max BER the retry derating is far below
+        0.1% — the justification for omitting it from timing models."""
+        from repro.interconnect.retry import RetryModel
+
+        model = RetryModel()
+        assert model.negligible_at_spec()
+        assert model.bandwidth_derating(1e-12) < 1e-6
+
+    def test_derating_monotone_in_ber(self):
+        from repro.interconnect.retry import RetryModel
+
+        m = RetryModel()
+        ds = [m.bandwidth_derating(b) for b in (1e-15, 1e-12, 1e-9, 1e-6)]
+        assert ds == sorted(ds)
+
+    def test_high_ber_saturates_below_one(self):
+        from repro.interconnect.retry import RetryModel
+
+        d = RetryModel().bandwidth_derating(1e-3)
+        assert 0.5 < d < 1.0
+
+    def test_effective_efficiency_composes(self):
+        from repro.interconnect.cxl import CXL_EFFICIENCY
+        from repro.interconnect.retry import RetryModel
+
+        eff = RetryModel().effective_efficiency(1e-12, base=CXL_EFFICIENCY)
+        assert eff == pytest.approx(CXL_EFFICIENCY, rel=1e-5)
+
+    def test_validation(self):
+        from repro.interconnect.retry import RetryModel
+
+        with pytest.raises(ValueError):
+            RetryModel(replay_window_flits=0)
+        with pytest.raises(ValueError):
+            RetryModel().flit_error_probability(2.0)
+        with pytest.raises(ValueError):
+            RetryModel().effective_efficiency(1e-12, base=0)

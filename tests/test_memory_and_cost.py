@@ -1,0 +1,105 @@
+"""Tests for the GPU-memory accounting and datacenter-cost models."""
+
+import pytest
+
+from repro.experiments.cost_model import DatacenterCost, paper_estimate
+from repro.models import evaluation_models, get_model
+from repro.offload.memory import MemoryModel
+
+
+class TestMemoryModel:
+    def test_paper_configs_fit(self):
+        """Every batch size the paper evaluates fits in 32 GB — 'the
+        batch sizes are chosen ... such that out-of-memory does not
+        happen'."""
+        mm = MemoryModel()
+        for spec in evaluation_models():
+            batches = (4, 8, 16) if spec.name != "gcnii" else (1,)
+            for b in batches:
+                if spec.name == "t5-large" and b == 16:
+                    continue
+                assert mm.gpu_budget(spec, b).fits, (spec.name, b)
+
+    def test_t5_oom_at_batch16_derives(self):
+        """At T5's full training sequence length with FP32 activations,
+        batch 16 exceeds the V100's 32 GB while batch 8 fits — deriving
+        the paper's Section VIII-B OOM observation."""
+        t5 = get_model("t5-large")
+        mm = MemoryModel(mixed_precision=False)
+        assert mm.gpu_budget(t5, 8, seq_len=512).fits
+        assert not mm.gpu_budget(t5, 16, seq_len=512).fits
+
+    def test_components_sum(self):
+        mm = MemoryModel()
+        budget = mm.gpu_budget(get_model("gpt2"), 4)
+        assert budget.required_bytes == pytest.approx(
+            sum(budget.components.values())
+        )
+        assert 0 < budget.utilization < 1
+
+    def test_activations_scale_with_batch(self):
+        mm = MemoryModel()
+        bert = get_model("bert-large-cased")
+        a4 = mm.activation_bytes(bert, 4)
+        a8 = mm.activation_bytes(bert, 8)
+        assert a8 == pytest.approx(2 * a4)
+
+    def test_attention_maps_quadratic_in_seq(self):
+        mm = MemoryModel()
+        bert = get_model("bert-large-cased")
+        a128 = mm.activation_bytes(bert, 4, seq_len=128)
+        a256 = mm.activation_bytes(bert, 4, seq_len=256)
+        assert a256 > 2 * a128  # superlinear: the s^2 attention term
+
+    def test_cpu_side_footprint(self):
+        mm = MemoryModel()
+        bert = get_model("bert-large-cased")
+        # params + grads + 2x ADAM states = 4x param bytes
+        assert mm.cpu_bytes(bert) == pytest.approx(4 * bert.param_bytes)
+
+    def test_max_batch_monotone_with_capacity(self):
+        bert = get_model("bert-large-cased")
+        small = MemoryModel(gpu_capacity_bytes=8 * 2**30)
+        large = MemoryModel(gpu_capacity_bytes=32 * 2**30)
+        assert small.max_batch(bert) <= large.max_batch(bert)
+
+    def test_gnn_batch_independent(self):
+        mm = MemoryModel()
+        gcnii = get_model("gcnii")
+        assert mm.activation_bytes(gcnii, 1) == mm.activation_bytes(gcnii, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryModel(gpu_capacity_bytes=0)
+        with pytest.raises(ValueError):
+            MemoryModel().activation_bytes(get_model("gpt2"), 0)
+
+
+class TestCostModel:
+    def test_paper_estimate_band(self):
+        """The 'roughly $900K' figure: 7% saving on a 256-GPU fleet."""
+        assert 0.6e6 < paper_estimate(0.07) < 1.1e6
+
+    def test_linear_in_saving(self):
+        assert paper_estimate(0.14) == pytest.approx(2 * paper_estimate(0.07))
+
+    def test_spend_arithmetic(self):
+        dc = DatacenterCost(
+            n_gpus=10, utilization=0.5, price_per_gpu_hour=2.0
+        )
+        assert dc.yearly_training_spend == pytest.approx(10 * 8760 * 0.5 * 2.0)
+
+    def test_training_share(self):
+        full = DatacenterCost(training_share=1.0)
+        fifth = DatacenterCost(training_share=0.2)
+        assert fifth.yearly_training_spend == pytest.approx(
+            full.yearly_training_spend * 0.2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatacenterCost(n_gpus=0)
+        with pytest.raises(ValueError):
+            DatacenterCost(utilization=0)
+        with pytest.raises(ValueError):
+            DatacenterCost().yearly_savings(2.0)

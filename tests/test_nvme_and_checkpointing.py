@@ -1,0 +1,83 @@
+"""Tests for the NVMe tier model and activation checkpointing."""
+
+import pytest
+
+from repro.models import MODEL_REGISTRY, evaluation_models, get_model
+from repro.offload import MemoryModel
+from repro.offload.engines import ZeROOffloadEngine
+from repro.offload.nvme import NVMeTierModel, Tier
+from repro.utils.units import GIB
+
+
+class TestNVMeTiering:
+    def test_all_paper_workloads_fit_in_dram(self):
+        """The Section VIII-A argument: every Table III model's CPU-side
+        state fits the 372 GB host, so ZeRO-Infinity regresses to
+        ZeRO-Offload and the paper's baseline choice is justified."""
+        model = NVMeTierModel()
+        for spec in MODEL_REGISTRY.values():
+            assert model.tier_of(spec) is Tier.DRAM, spec.name
+            assert model.swap_overhead(spec) == 0.0
+
+    def test_regression_claim_step_identical(self):
+        """With DRAM sufficient, the ZeRO-Infinity step equals the
+        ZeRO-Offload step exactly."""
+        model = NVMeTierModel()
+        spec = get_model("bert-large-cased")
+        infinity = model.simulate_step(spec, 4)
+        offload = ZeROOffloadEngine(spec, 4).simulate_step()
+        assert infinity.total == offload.total
+        assert infinity.optimizer == offload.optimizer
+
+    def test_small_host_forces_nvme_and_slows_down(self):
+        """A 100B-scale state on a small host spills and pays swap time."""
+        small_host = NVMeTierModel(dram_capacity_bytes=64 * GIB)
+        spec = get_model("gpt2-11b")  # 44 GB params -> 176 GB state
+        assert small_host.tier_of(spec) is Tier.NVME
+        infinity = small_host.simulate_step(spec, 4)
+        offload = ZeROOffloadEngine(spec, 4).simulate_step()
+        assert infinity.total > offload.total
+        assert infinity.optimizer > offload.optimizer
+
+    def test_state_arithmetic(self):
+        model = NVMeTierModel()
+        bert = get_model("bert-large-cased")
+        assert model.cpu_state_bytes(bert) == pytest.approx(
+            4 * bert.param_bytes
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NVMeTierModel(dram_capacity_bytes=0)
+
+
+class TestActivationCheckpointing:
+    def test_reduces_activation_footprint(self):
+        spec = get_model("t5-large")
+        plain = MemoryModel()
+        ckpt = MemoryModel(activation_checkpointing=True)
+        assert ckpt.activation_bytes(spec, 8) < 0.3 * plain.activation_bytes(
+            spec, 8
+        )
+
+    def test_enables_larger_batches(self):
+        spec = get_model("t5-large")
+        plain = MemoryModel(mixed_precision=False)
+        ckpt = MemoryModel(mixed_precision=False, activation_checkpointing=True)
+        # The paper's OOM case fits once activations are checkpointed.
+        assert not plain.gpu_budget(spec, 16, seq_len=512).fits
+        assert ckpt.gpu_budget(spec, 16, seq_len=512).fits
+
+    def test_costs_backward_flops(self):
+        assert MemoryModel().recompute_backward_overhead == 0.0
+        assert MemoryModel(
+            activation_checkpointing=True
+        ).recompute_backward_overhead == pytest.approx(1 / 3)
+
+    def test_gnn_unaffected_shape(self):
+        """Full-graph GNN activations follow the same reduction rule."""
+        spec = get_model("gcnii")
+        plain = MemoryModel()
+        # GNN branch returns before checkpointing applies; footprint equal.
+        ckpt = MemoryModel(activation_checkpointing=True)
+        assert ckpt.activation_bytes(spec, 1) == plain.activation_bytes(spec, 1)

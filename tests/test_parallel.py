@@ -1,0 +1,100 @@
+"""Tests for the data-parallel extension."""
+
+import pytest
+
+from repro.experiments.scaling import render_scaling, run_scaling
+from repro.models import get_model
+from repro.offload import SystemKind
+from repro.offload.parallel import ClusterParams, DataParallelEngine
+
+
+class TestClusterParams:
+    def test_ring_time_zero_for_single_gpu(self):
+        assert ClusterParams(n_gpus=1).ring_time(1 << 30) == 0.0
+
+    def test_ring_time_scales_with_shards(self):
+        c = ClusterParams(n_gpus=4)
+        assert c.ring_time(2 << 20) > c.ring_time(1 << 20)
+
+    def test_ring_bus_bytes(self):
+        c = ClusterParams(n_gpus=8, collective_latency=0.0)
+        t = c.ring_time(1e9)
+        expected = 1e9 * 7 / c.collective_bandwidth.bytes_per_second
+        assert t == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterParams(n_gpus=0)
+        with pytest.raises(ValueError):
+            ClusterParams().ring_time(-1)
+
+
+class TestDataParallelEngine:
+    @pytest.fixture(scope="class")
+    def bert(self):
+        return get_model("bert-large-cased")
+
+    def test_single_gpu_close_to_base_engine(self, bert):
+        """With one GPU and no collectives, the DP engine reduces to the
+        single-GPU TECO result within the modelling tolerances."""
+        from repro.offload import simulate_system
+
+        dp = DataParallelEngine(
+            SystemKind.TECO_REDUCTION, bert, 4, ClusterParams(n_gpus=1)
+        ).simulate_step()
+        single = simulate_system(SystemKind.TECO_REDUCTION, bert, 4)
+        assert dp.total == pytest.approx(single.total, rel=0.1)
+
+    def test_teco_beats_baseline_at_every_scale(self, bert):
+        for n in (1, 2, 4, 8):
+            base = DataParallelEngine(
+                SystemKind.ZERO_OFFLOAD, bert, 32, ClusterParams(n_gpus=n)
+            ).simulate_step()
+            red = DataParallelEngine(
+                SystemKind.TECO_REDUCTION, bert, 32, ClusterParams(n_gpus=n)
+            ).simulate_step()
+            assert red.total < base.total, n
+
+    def test_step_time_shrinks_with_gpus_sublinearly(self, bert):
+        t1 = DataParallelEngine(
+            SystemKind.ZERO_OFFLOAD, bert, 32, ClusterParams(n_gpus=1)
+        ).simulate_step().total
+        t8 = DataParallelEngine(
+            SystemKind.ZERO_OFFLOAD, bert, 32, ClusterParams(n_gpus=8)
+        ).simulate_step().total
+        assert t8 < t1  # scaling helps
+        assert t8 > t1 / 8  # ...but far from linearly (constant CPU work)
+
+    def test_sharding_reduces_per_link_volume(self, bert):
+        w1 = DataParallelEngine(
+            SystemKind.TECO_REDUCTION, bert, 32, ClusterParams(n_gpus=1)
+        ).simulate_step().wire_bytes
+        w4 = DataParallelEngine(
+            SystemKind.TECO_REDUCTION, bert, 32, ClusterParams(n_gpus=4)
+        ).simulate_step().wire_bytes
+        assert w4 == pytest.approx(w1 / 4, rel=0.05)
+
+    def test_batch_validation(self, bert):
+        with pytest.raises(ValueError):
+            DataParallelEngine(
+                SystemKind.ZERO_OFFLOAD, bert, 3, ClusterParams(n_gpus=2)
+            )
+        with pytest.raises(ValueError):
+            DataParallelEngine(
+                SystemKind.ZERO_OFFLOAD, bert, 2, ClusterParams(n_gpus=4)
+            )
+
+
+class TestScalingExperiment:
+    def test_speedup_band_across_scales(self):
+        rows = run_scaling(gpu_counts=(1, 4, 16))
+        for r in rows:
+            assert 1.1 < r["speedup"] < 1.8
+
+    def test_comm_fraction_stays_significant(self):
+        rows = run_scaling(gpu_counts=(1, 16))
+        for r in rows:
+            assert r["baseline_comm_fraction"] > 0.10
+
+    def test_render(self):
+        assert "GPUs" in render_scaling(run_scaling(gpu_counts=(1, 2)))

@@ -1,0 +1,107 @@
+"""Tests for ASCII plotting, the seq-length ablation, and report output."""
+
+import json
+
+import pytest
+
+from repro.experiments.ablation_seqlen import render_seqlen, run_seqlen_ablation
+from repro.experiments.report import generate_report
+from repro.utils.plots import ascii_bar_chart, ascii_line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = ascii_line_chart({"loss": [3.0, 2.0, 1.0, 0.5]}, title="t")
+        assert out.splitlines()[0] == "t"
+        assert "*" in out
+        assert "loss" in out
+
+    def test_two_series_distinct_glyphs(self):
+        out = ascii_line_chart(
+            {"a": [1, 2, 3], "b": [3, 2, 1]}, width=16, height=5
+        )
+        assert "*" in out and "o" in out
+
+    def test_constant_series(self):
+        out = ascii_line_chart({"flat": [1.0, 1.0, 1.0]})
+        assert "flat" in out
+
+    def test_bounds_in_axis_labels(self):
+        out = ascii_line_chart({"x": [0.0, 10.0]}, width=8, height=3)
+        assert "10" in out and "0" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": [1]}, width=2)
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": []})
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = ascii_bar_chart(["gpt2", "bert"], [1.8, 1.6], unit="x")
+        lines = out.splitlines()
+        assert lines[0].startswith("gpt2")
+        assert "#" in lines[0]
+        assert "1.8x" in lines[0]
+
+    def test_proportionality(self):
+        out = ascii_bar_chart(["a", "b"], [4.0, 2.0], width=40)
+        a_bar = out.splitlines()[0].count("#")
+        b_bar = out.splitlines()[1].count("#")
+        assert a_bar == pytest.approx(2 * b_bar, abs=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bar_chart([], [])
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [0.0])
+
+
+class TestSeqlenAblation:
+    def test_speedup_band_across_lengths(self):
+        """Conclusions hold over a wide seq-length range: TECO always wins
+        and the speedup stays within the paper's band."""
+        rows = run_seqlen_ablation()
+        for r in rows:
+            assert 1.05 < r["speedup"] < 2.1
+
+    def test_longer_sequences_more_compute_bound(self):
+        rows = run_seqlen_ablation()
+        fracs = [r["comm_fraction"] for r in rows]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_render(self):
+        assert "seq len" in render_seqlen(
+            run_seqlen_ablation(seq_lens=(64, 128))
+        )
+
+
+class TestReportGenerator:
+    def test_writes_markdown_and_json(self, tmp_path):
+        rendered = generate_report(
+            tmp_path, experiments=["table1", "overheads"]
+        )
+        assert set(rendered) == {"table1", "overheads"}
+        md = (tmp_path / "report.md").read_text()
+        assert "Table I" in md and "DRAM" in md
+        data = json.loads((tmp_path / "results.json").read_text())
+        assert "table1" in data["experiments"]
+        assert data["experiments"]["table1"]["seconds"] >= 0
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            generate_report(tmp_path, experiments=["nope"])
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # patch EXPERIMENTS subset for speed via direct generate call is
+        # covered above; here just exercise the argument path with a fast
+        # single experiment through 'table1'.
+        assert main(["table1"]) == 0
+        assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,153 @@
+"""Tests for sparse GCNII propagation and trainer checkpointing."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.dba import ActivationPolicy
+from repro.offload import OffloadTrainer, TrainerMode
+from repro.tensor.gnn import GCNII, normalized_adjacency
+from repro.tensor.sparse import normalized_adjacency_sparse, spmm
+from repro.tensor.tensor import Tensor
+from repro.tensor.transformer import TinyTransformerLM
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+def random_graph(rng, n=20):
+    adj = (rng.random((n, n)) < 0.2).astype(np.float32)
+    adj = np.maximum(adj, adj.T)
+    np.fill_diagonal(adj, 0)
+    return adj
+
+
+class TestSpmm:
+    def test_forward_matches_dense(self):
+        rng = RNG(0)
+        dense = random_graph(rng)
+        x = Tensor(rng.standard_normal((20, 5)).astype(np.float32))
+        sparse = sp.csr_matrix(dense)
+        np.testing.assert_allclose(
+            spmm(sparse, x).data, dense @ x.data, rtol=1e-5
+        )
+
+    def test_backward_matches_dense(self):
+        rng = RNG(1)
+        dense = random_graph(rng)
+        x0 = rng.standard_normal((20, 4)).astype(np.float32)
+        w = rng.standard_normal((20, 4)).astype(np.float32)
+
+        xd = Tensor(x0.copy(), requires_grad=True)
+        (Tensor(dense) @ xd * Tensor(w)).sum().backward()
+
+        xs = Tensor(x0.copy(), requires_grad=True)
+        (spmm(sp.csr_matrix(dense), xs) * Tensor(w)).sum().backward()
+        np.testing.assert_allclose(xs.grad, xd.grad, rtol=1e-4, atol=1e-6)
+
+    def test_type_and_shape_validation(self):
+        x = Tensor(np.zeros((4, 2), dtype=np.float32))
+        with pytest.raises(TypeError):
+            spmm(np.zeros((4, 4)), x)
+        with pytest.raises(ValueError):
+            spmm(sp.eye(3, format="csr"), x)
+
+
+class TestSparseNormalization:
+    def test_matches_dense_normalization(self):
+        rng = RNG(2)
+        adj = random_graph(rng)
+        dense = normalized_adjacency(adj)
+        sparse = normalized_adjacency_sparse(sp.csr_matrix(adj))
+        np.testing.assert_allclose(sparse.toarray(), dense, rtol=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            normalized_adjacency_sparse(np.eye(3))
+        with pytest.raises(ValueError):
+            normalized_adjacency_sparse(sp.csr_matrix((2, 3)))
+
+
+class TestSparseGCNII:
+    def test_sparse_equals_dense_forward(self):
+        rng = RNG(3)
+        adj = random_graph(rng)
+        feats = rng.standard_normal((20, 8)).astype(np.float32)
+        model = GCNII(8, 16, 3, n_layers=3, rng=RNG(4))
+        dense_out = model(feats, normalized_adjacency(adj)).data
+        sparse_out = model(
+            feats, normalized_adjacency_sparse(sp.csr_matrix(adj))
+        ).data
+        np.testing.assert_allclose(sparse_out, dense_out, rtol=1e-4, atol=1e-5)
+
+    def test_sparse_training_through_offload_trainer(self):
+        rng = RNG(5)
+        adj = random_graph(rng)
+        feats = rng.standard_normal((20, 8)).astype(np.float32)
+        labels = rng.integers(0, 2, 20)
+        a_hat = normalized_adjacency_sparse(sp.csr_matrix(adj))
+        model = GCNII(8, 16, 2, n_layers=2, rng=RNG(6))
+        trainer = OffloadTrainer(model, lr=5e-3)
+        first = trainer.step(feats, a_hat, labels).loss
+        for _ in range(40):
+            last = trainer.step(feats, a_hat, labels).loss
+        assert last < first
+
+
+class TestCheckpointing:
+    def _trainer(self, seed=7, mode=TrainerMode.ZERO_OFFLOAD):
+        model = TinyTransformerLM(
+            vocab=16, dim=16, n_heads=2, n_layers=1, max_seq=12, rng=RNG(seed)
+        )
+        return OffloadTrainer(
+            model, mode=mode, lr=2e-3,
+            policy=ActivationPolicy(act_aft_steps=3, dirty_bytes=2),
+        )
+
+    def _batches(self, n, seed=8):
+        rng = RNG(seed)
+        return [(rng.integers(0, 16, (4, 10)),) for _ in range(n)]
+
+    def test_resume_is_bit_exact(self, tmp_path):
+        batches = self._batches(10)
+        # Uninterrupted reference run.
+        ref = self._trainer()
+        ref.train(batches)
+
+        # Interrupted run: checkpoint at step 5, resume in a new trainer.
+        first = self._trainer()
+        first.train(batches[:5])
+        ckpt = tmp_path / "ckpt.npz"
+        first.save_checkpoint(ckpt)
+
+        resumed = self._trainer()
+        resumed.load_checkpoint(ckpt)
+        results = resumed.train(batches[5:])
+
+        np.testing.assert_array_equal(resumed.arena.params, ref.arena.params)
+        assert results[-1].loss == ref.history[-1].loss
+        assert resumed.step_count == ref.step_count
+
+    def test_dba_state_survives_checkpoint(self, tmp_path):
+        trainer = self._trainer(mode=TrainerMode.TECO_REDUCTION)
+        trainer.train(self._batches(5))
+        assert trainer.policy.active
+        ckpt = tmp_path / "dba.npz"
+        trainer.save_checkpoint(ckpt)
+
+        fresh = self._trainer(mode=TrainerMode.TECO_REDUCTION)
+        assert not fresh.policy.active
+        fresh.load_checkpoint(ckpt)
+        assert fresh.policy.active
+        assert fresh.policy.activated_at == trainer.policy.activated_at
+        np.testing.assert_array_equal(fresh.gpu_params, trainer.gpu_params)
+
+    def test_mismatched_model_rejected(self, tmp_path):
+        trainer = self._trainer()
+        ckpt = tmp_path / "x.npz"
+        trainer.save_checkpoint(ckpt)
+        other = OffloadTrainer(
+            TinyTransformerLM(vocab=16, dim=32, n_heads=2, n_layers=1,
+                              max_seq=12, rng=RNG(9))
+        )
+        with pytest.raises(ValueError):
+            other.load_checkpoint(ckpt)

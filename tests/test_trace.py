@@ -1,0 +1,168 @@
+"""Tests for trace generation and CXL replay."""
+
+import numpy as np
+import pytest
+
+from repro.interconnect.cxl import CXLLinkModel
+from repro.memsim import CacheHierarchy, SetAssociativeCache, WritebackTrace
+from repro.trace import (
+    adam_writeback_trace,
+    replay_trace,
+    simulate_sweep_writebacks,
+)
+
+
+class TestAnalyticGenerator:
+    def test_one_event_per_line(self):
+        tr = adam_writeback_trace(64 * 100, sweep_duration=1.0, llc_bytes=64 * 10)
+        assert len(tr) == 100
+        assert tr.unique_lines == 100
+
+    def test_timestamps_monotone_and_bounded(self):
+        tr = adam_writeback_trace(64 * 1000, 2.0, llc_bytes=64 * 100)
+        assert np.all(np.diff(tr.times) >= 0)
+        assert tr.times[-1] <= 2.0
+
+    def test_llc_delay(self):
+        """Line 0 is written back when the sweep front is LLC-capacity
+        ahead, not immediately."""
+        tr = adam_writeback_trace(64 * 1000, 1.0, llc_bytes=64 * 100)
+        assert tr.times[0] == pytest.approx(0.1)
+
+    def test_tail_flushed_at_end(self):
+        tr = adam_writeback_trace(64 * 100, 1.0, llc_bytes=64 * 50)
+        # last 50 lines all flush exactly at sweep end
+        assert np.all(tr.times[-50:] == 1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            adam_writeback_trace(0, 1.0)
+        with pytest.raises(ValueError):
+            adam_writeback_trace(64, 0.0)
+        with pytest.raises(ValueError):
+            adam_writeback_trace(64, 1.0, base_address=1)
+
+
+class TestSimulatedGenerator:
+    def test_matches_analytic_line_count(self):
+        """Cache-accurate and analytic generators agree on which lines are
+        written back (all of them, exactly once for a streaming sweep)."""
+        param_bytes = 64 * 256
+        hierarchy = CacheHierarchy(
+            [SetAssociativeCache(64 * 16, 64, 4, name="LLC")]
+        )
+        sim_tr = simulate_sweep_writebacks(param_bytes, 1.0, hierarchy)
+        ana_tr = adam_writeback_trace(param_bytes, 1.0, llc_bytes=64 * 16)
+        assert len(sim_tr) == len(ana_tr) == 256
+        assert set(sim_tr.addresses.tolist()) == set(
+            ana_tr.addresses.tolist()
+        )
+
+    def test_analytic_delay_approximates_simulated(self):
+        """First-writeback delay of the simulated hierarchy is within the
+        analytic model's LLC window."""
+        hierarchy = CacheHierarchy(
+            [SetAssociativeCache(64 * 32, 64, 4, name="LLC")]
+        )
+        sim_tr = simulate_sweep_writebacks(64 * 512, 1.0, hierarchy)
+        first_line0 = sim_tr.times[sim_tr.addresses == 0][0]
+        ana = adam_writeback_trace(64 * 512, 1.0, llc_bytes=64 * 32)
+        assert abs(first_line0 - ana.times[0]) < 0.05
+
+
+class TestReplay:
+    def test_empty_trace(self):
+        r = replay_trace(WritebackTrace(np.empty(0), np.empty(0, dtype=np.uint64)))
+        assert r.exposed_time == 0.0 and r.n_lines == 0
+
+    def test_slow_producer_fully_overlapped(self):
+        """If write-backs arrive slower than the link drains, only the last
+        line's wire time is exposed."""
+        link = CXLLinkModel.paper_default()
+        t_line = link.line_transfer_time()
+        n = 100
+        times = np.arange(1, n + 1) * (t_line * 10)  # 10x slower than link
+        tr = WritebackTrace(times, np.arange(n, dtype=np.uint64) * 64)
+        r = replay_trace(tr, link)
+        assert r.exposed_time == pytest.approx(t_line, rel=1e-6)
+        assert r.overlap_fraction > 0.98
+
+    def test_burst_producer_fully_exposed(self):
+        """All lines arriving at once serialize after compute end."""
+        link = CXLLinkModel.paper_default()
+        n = 1000
+        tr = WritebackTrace(
+            np.zeros(n), np.arange(n, dtype=np.uint64) * 64
+        )
+        r = replay_trace(tr, link)
+        assert r.exposed_time == pytest.approx(r.wire_time, rel=1e-9)
+        assert r.overlap_fraction == pytest.approx(0.0)
+
+    def test_matches_queueing_recursion(self):
+        """Vectorized replay equals the scalar queueing recursion."""
+        rng = np.random.default_rng(0)
+        link = CXLLinkModel.paper_default()
+        t_line = link.line_transfer_time()
+        times = np.sort(rng.random(500)) * 200 * t_line
+        tr = WritebackTrace(times, np.arange(500, dtype=np.uint64) * 64)
+        r = replay_trace(tr, link)
+        depart = 0.0
+        for t in times:
+            depart = max(t, depart) + t_line
+        assert r.finish_time == pytest.approx(depart, rel=1e-9)
+
+    def test_dba_halves_wire_time(self):
+        n = 256
+        tr = WritebackTrace(np.zeros(n), np.arange(n, dtype=np.uint64) * 64)
+        full = replay_trace(tr, dirty_bytes=4)
+        half = replay_trace(tr, dirty_bytes=2)
+        assert half.wire_time < full.wire_time
+        assert half.wire_bytes == n * 36  # 32B payload + 4B header
+
+    def test_start_time_offsets(self):
+        n = 10
+        tr = WritebackTrace(np.zeros(n), np.arange(n, dtype=np.uint64) * 64)
+        r0 = replay_trace(tr)
+        r5 = replay_trace(tr, start_time=5.0)
+        assert r5.finish_time == pytest.approx(5.0 + r0.finish_time)
+
+
+class TestGradientTraceGenerator:
+    def test_one_event_per_line(self):
+        from repro.trace import gradient_writeback_trace
+
+        tr = gradient_writeback_trace(64 * 240, 1.0, n_layers=24)
+        assert len(tr) == 240
+        assert tr.unique_lines == 240
+
+    def test_layer_phasing(self):
+        """The first layer's lines arrive early, the last layer's late."""
+        from repro.trace import gradient_writeback_trace
+
+        tr = gradient_writeback_trace(64 * 240, 2.4, n_layers=24)
+        assert tr.times[0] < 0.2
+        assert tr.times[-1] == pytest.approx(2.4, abs=0.15)
+        assert np.all(np.diff(tr.times) >= -1e-12)
+
+    def test_replay_matches_engine_shape(self):
+        """Replaying the gradient trace over CXL shows the Figure-12
+        behaviour: almost fully hidden when backward outlasts the wire."""
+        from repro.interconnect.cxl import CXLLinkModel
+        from repro.trace import gradient_writeback_trace, replay_trace
+
+        link = CXLLinkModel.paper_default()
+        n_lines = 50_000
+        wire = link.line_transfer_time() * n_lines
+        tr = gradient_writeback_trace(64 * n_lines, wire * 3, n_layers=24)
+        result = replay_trace(tr, link)
+        assert result.overlap_fraction > 0.9
+
+    def test_validation(self):
+        from repro.trace import gradient_writeback_trace
+
+        with pytest.raises(ValueError):
+            gradient_writeback_trace(0, 1.0, 2)
+        with pytest.raises(ValueError):
+            gradient_writeback_trace(64, 1.0, 0)
+        with pytest.raises(ValueError):
+            gradient_writeback_trace(64, 1.0, 2, base_address=3)

@@ -1,0 +1,153 @@
+"""Tests for LR schedules, parameter groups, and gradient accumulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.offload import OffloadTrainer
+from repro.optim import (
+    Adam,
+    ConstantLR,
+    CosineDecay,
+    FlatAdam,
+    WarmupLinearDecay,
+)
+from repro.tensor import Tensor
+from repro.tensor.transformer import TinyTransformerLM
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+def tiny_lm(seed=0):
+    return TinyTransformerLM(
+        vocab=16, dim=16, n_heads=2, n_layers=1, max_seq=12, rng=RNG(seed)
+    )
+
+
+def batches(n, seed=1, batch=4):
+    rng = RNG(seed)
+    return [(rng.integers(0, 16, (batch, 10)),) for _ in range(n)]
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantLR(1e-3)
+        assert s.lr_at(0) == s.lr_at(1000) == 1e-3
+
+    def test_warmup_then_decay(self):
+        s = WarmupLinearDecay(base_lr=1.0, warmup_steps=10, total_steps=110)
+        assert s.lr_at(0) == pytest.approx(0.1)
+        assert s.lr_at(9) == pytest.approx(1.0)
+        assert s.lr_at(60) == pytest.approx(0.5)
+        assert s.lr_at(110) == 0.0
+
+    def test_cosine_endpoints(self):
+        s = CosineDecay(base_lr=1.0, total_steps=100, min_lr=0.1)
+        assert s.lr_at(0) == pytest.approx(1.0)
+        assert s.lr_at(100) == pytest.approx(0.1)
+        assert s.lr_at(50) == pytest.approx(0.55, abs=1e-9)
+
+    def test_apply_mutates_optimizer(self):
+        opt = FlatAdam(10, lr=9.0)
+        s = ConstantLR(1e-4)
+        assert s.apply(opt, 0) == 1e-4
+        assert opt.lr == 1e-4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+        with pytest.raises(ValueError):
+            WarmupLinearDecay(1.0, 10, 10)
+        with pytest.raises(ValueError):
+            CosineDecay(1.0, 100, min_lr=2.0)
+        with pytest.raises(ValueError):
+            ConstantLR(1.0).apply(FlatAdam(4), -1)
+
+
+class TestParamGroups:
+    def test_groups_have_independent_hyperparams(self):
+        decayed = Tensor(np.ones(4, np.float32), requires_grad=True)
+        frozen_decay = Tensor(np.ones(4, np.float32), requires_grad=True)
+        opt = Adam(
+            [
+                {"params": [decayed], "weight_decay": 0.5},
+                {"params": [frozen_decay], "weight_decay": 0.0},
+            ],
+            lr=0.1,
+        )
+        decayed.grad = np.zeros(4, np.float32)
+        frozen_decay.grad = np.zeros(4, np.float32)
+        for _ in range(20):
+            opt.step()
+        assert np.all(np.abs(decayed.data) < 1.0)  # shrinks
+        np.testing.assert_array_equal(frozen_decay.data, np.ones(4))
+
+    def test_per_group_lr(self):
+        fast = Tensor(np.zeros(2, np.float32), requires_grad=True)
+        slow = Tensor(np.zeros(2, np.float32), requires_grad=True)
+        opt = Adam(
+            [
+                {"params": [fast], "lr": 1e-1},
+                {"params": [slow], "lr": 1e-3},
+            ]
+        )
+        fast.grad = np.ones(2, np.float32)
+        slow.grad = np.ones(2, np.float32)
+        opt.step()
+        assert abs(fast.data[0]) > abs(slow.data[0])
+
+    def test_flat_list_still_works(self):
+        t = Tensor(np.ones(3, np.float32), requires_grad=True)
+        t.grad = np.ones(3, np.float32)
+        Adam([t], lr=0.1).step()
+        assert t.data[0] < 1.0
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([{"params": []}])
+
+
+class TestGradientAccumulation:
+    def test_accumulated_equals_large_batch(self):
+        """Averaging K micro-batch gradients equals one K-times-larger
+        batch step (same samples), up to float tolerance."""
+        rng = RNG(2)
+        big = rng.integers(0, 16, (8, 10))
+        micro1, micro2 = big[:4], big[4:]
+
+        large = OffloadTrainer(tiny_lm(3), lr=1e-3)
+        large.step(big)
+
+        accum = OffloadTrainer(tiny_lm(3), lr=1e-3, accumulation_steps=2)
+        r1 = accum.step(micro1)
+        r2 = accum.step(micro2)
+        assert r1.param_payload_bytes == 0  # banked, no transfer
+        assert r2.param_payload_bytes > 0
+        np.testing.assert_allclose(
+            accum.arena.params, large.arena.params, rtol=1e-4, atol=1e-6
+        )
+
+    def test_optimizer_steps_counted_once_per_cycle(self):
+        tr = OffloadTrainer(tiny_lm(), accumulation_steps=4)
+        tr.train(batches(8))
+        assert tr.optimizer.step_count == 2
+
+    def test_invalid_accumulation(self):
+        with pytest.raises(ValueError):
+            OffloadTrainer(tiny_lm(), accumulation_steps=0)
+
+
+class TestScheduledTraining:
+    def test_schedule_drives_trainer_lr(self):
+        sched = WarmupLinearDecay(base_lr=2e-3, warmup_steps=2, total_steps=10)
+        tr = OffloadTrainer(tiny_lm(), lr=999.0, lr_schedule=sched)
+        tr.train(batches(3))
+        assert tr.optimizer.lr == pytest.approx(sched.lr_at(2))
+
+    def test_warmup_training_stable(self):
+        sched = WarmupLinearDecay(base_lr=3e-3, warmup_steps=5, total_steps=40)
+        tr = OffloadTrainer(tiny_lm(7), lr_schedule=sched)
+        results = tr.train(batches(40, seed=8))
+        assert results[-1].loss < results[0].loss
+        assert all(math.isfinite(r.loss) for r in results)

@@ -1,0 +1,81 @@
+"""Tests for the act_aft_steps Bayesian-style tuner."""
+
+import numpy as np
+import pytest
+
+from repro.dba.tuning import ActivationTuner, TuningResult, tradeoff_objective
+
+
+class TestObjective:
+    def test_scalarization_direction(self):
+        # better metric (lower) and better speedup (higher) => lower J
+        good = tradeoff_objective(metric=1.0, speedup=1.8)
+        bad = tradeoff_objective(metric=2.0, speedup=1.1)
+        assert good < bad
+
+    def test_weights(self):
+        heavy_quality = tradeoff_objective(2.0, 1.5, quality_weight=10.0)
+        light_quality = tradeoff_objective(2.0, 1.5, quality_weight=0.1)
+        assert heavy_quality > light_quality
+
+
+class TestActivationTuner:
+    def test_finds_minimum_of_smooth_objective(self):
+        """Quadratic bowl with the optimum inside the domain."""
+        target = 700
+
+        def objective(x: int) -> float:
+            return (x - target) ** 2 / 1e4
+
+        tuner = ActivationTuner(total_steps=1775, n_iterations=10)
+        result = tuner.tune(objective)
+        assert abs(result.best_act_aft_steps - target) < 250
+        assert result.n_evaluations <= tuner.n_init + tuner.n_iterations + 2
+
+    def test_memoizes_evaluations(self):
+        calls = []
+
+        def objective(x: int) -> float:
+            calls.append(x)
+            return float(x)
+
+        ActivationTuner(total_steps=100, n_iterations=5).tune(objective)
+        assert len(calls) == len(set(calls))  # never re-evaluated
+
+    def test_handles_flat_objective(self):
+        result = ActivationTuner(total_steps=50, n_iterations=3).tune(
+            lambda x: 1.0
+        )
+        assert result.best_objective == 1.0
+
+    def test_monotone_tradeoff_prefers_interior_or_edge(self):
+        """A Figure-13-shaped objective: accuracy improves with later
+        activation, speedup decays — the tuner must land near the knee."""
+
+        def objective(x: int) -> float:
+            metric = 22.5 - 1.3 * (1 - np.exp(-x / 400))  # ppl improving
+            speedup = 1.15 + 0.48 * np.exp(-x / 600)  # speedup decaying
+            return tradeoff_objective(metric, speedup, speed_weight=2.0)
+
+        result = ActivationTuner(total_steps=1775, n_iterations=10).tune(
+            objective
+        )
+        grid = np.arange(0, 1776)
+        true_best = int(grid[np.argmin([objective(int(x)) for x in grid])])
+        assert abs(result.best_act_aft_steps - true_best) <= 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActivationTuner(total_steps=0)
+        with pytest.raises(ValueError):
+            ActivationTuner(total_steps=10, n_init=1)
+        with pytest.raises(ValueError):
+            ActivationTuner(total_steps=10, length_scale=0)
+
+    def test_result_fields(self):
+        result = ActivationTuner(total_steps=20, n_iterations=2).tune(
+            lambda x: abs(x - 10)
+        )
+        assert isinstance(result, TuningResult)
+        assert result.best_act_aft_steps in result.evaluated
+        assert result.evaluated[result.best_act_aft_steps] == result.best_objective

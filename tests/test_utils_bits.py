@@ -1,0 +1,184 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.bits import (
+    byte_change_mask,
+    changed_byte_count,
+    classify_word_changes,
+    float32_to_words,
+    low_byte_mask,
+    merge_low_bytes,
+    words_to_float32,
+)
+
+f32_arrays = hnp.arrays(
+    dtype=np.float32,
+    shape=hnp.array_shapes(max_dims=2, max_side=64),
+    elements=st.floats(width=32, allow_nan=False),
+)
+
+
+class TestWordViews:
+    def test_roundtrip_view(self):
+        x = np.array([1.0, -2.5, 0.0, 3.14], dtype=np.float32)
+        w = float32_to_words(x)
+        assert w.dtype == np.uint32
+        back = words_to_float32(w)
+        np.testing.assert_array_equal(back, x)
+
+    def test_view_is_zero_copy(self):
+        x = np.zeros(4, dtype=np.float32)
+        w = float32_to_words(x)
+        assert w.base is x or w.base is x.base
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            float32_to_words(np.zeros(4, dtype=np.float64))
+        with pytest.raises(TypeError):
+            words_to_float32(np.zeros(4, dtype=np.int32))
+
+    def test_known_bit_pattern(self):
+        # 1.0f == 0x3F800000
+        x = np.array([1.0], dtype=np.float32)
+        assert float32_to_words(x)[0] == 0x3F800000
+
+
+class TestLowByteMask:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 0), (1, 0xFF), (2, 0xFFFF), (3, 0xFFFFFF), (4, 0xFFFFFFFF)],
+    )
+    def test_values(self, n, expected):
+        assert int(low_byte_mask(n)) == expected
+
+    @pytest.mark.parametrize("n", [-1, 5])
+    def test_out_of_range(self, n):
+        with pytest.raises(ValueError):
+            low_byte_mask(n)
+
+
+class TestMergeLowBytes:
+    def test_merge_two_bytes_exact(self):
+        stale = np.array([0x11223344], dtype=np.uint32).view(np.float32)
+        fresh = np.array([0xAABBCCDD], dtype=np.uint32).view(np.float32)
+        merged = merge_low_bytes(stale, fresh, 2)
+        assert merged.view(np.uint32)[0] == 0x1122CCDD
+
+    def test_merge_zero_bytes_is_stale(self):
+        stale = np.array([1.0, 2.0], dtype=np.float32)
+        fresh = np.array([3.0, 4.0], dtype=np.float32)
+        np.testing.assert_array_equal(merge_low_bytes(stale, fresh, 0), stale)
+
+    def test_merge_four_bytes_is_fresh(self):
+        stale = np.array([1.0, 2.0], dtype=np.float32)
+        fresh = np.array([3.0, 4.0], dtype=np.float32)
+        np.testing.assert_array_equal(merge_low_bytes(stale, fresh, 4), fresh)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            merge_low_bytes(
+                np.zeros(2, dtype=np.float32), np.zeros(3, dtype=np.float32), 2
+            )
+
+    def test_inputs_not_modified(self):
+        stale = np.array([1.0], dtype=np.float32)
+        fresh = np.array([2.0], dtype=np.float32)
+        s0, f0 = stale.copy(), fresh.copy()
+        merge_low_bytes(stale, fresh, 2)
+        np.testing.assert_array_equal(stale, s0)
+        np.testing.assert_array_equal(fresh, f0)
+
+    @given(f32_arrays, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=50)
+    def test_merge_identity_when_equal(self, x, n):
+        """Merging an array with itself is the identity at any byte count."""
+        merged = merge_low_bytes(x, x, n)
+        np.testing.assert_array_equal(
+            merged.view(np.uint32), x.view(np.uint32)
+        )
+
+    @given(f32_arrays, f32_arrays.map(lambda a: a))
+    @settings(max_examples=30)
+    def test_merge_idempotent(self, stale, _unused):
+        """Applying the same merge twice equals applying it once."""
+        fresh = stale[::-1].copy() if stale.ndim == 1 else stale.copy()
+        fresh = np.ascontiguousarray(fresh.reshape(stale.shape))
+        once = merge_low_bytes(stale, fresh, 2)
+        twice = merge_low_bytes(once, fresh, 2)
+        np.testing.assert_array_equal(
+            once.view(np.uint32), twice.view(np.uint32)
+        )
+
+
+class TestChangeMasks:
+    def test_no_change(self):
+        x = np.array([1.5, -2.0], dtype=np.float32)
+        assert np.all(byte_change_mask(x, x.copy()) == 0)
+        assert np.all(changed_byte_count(x, x.copy()) == 0)
+
+    def test_single_low_byte_change(self):
+        old = np.array([0x3F800000], dtype=np.uint32).view(np.float32)
+        new = np.array([0x3F800001], dtype=np.uint32).view(np.float32)
+        assert byte_change_mask(old, new)[0] == 0b0001
+        assert changed_byte_count(old, new)[0] == 1
+
+    def test_high_byte_change(self):
+        old = np.array([0x3F800000], dtype=np.uint32).view(np.float32)
+        new = np.array([0xBF800000], dtype=np.uint32).view(np.float32)
+        assert byte_change_mask(old, new)[0] == 0b1000
+
+    def test_all_bytes_change(self):
+        old = np.array([0x00000000], dtype=np.uint32).view(np.float32)
+        new = np.array([0x01010101], dtype=np.uint32).view(np.float32)
+        assert byte_change_mask(old, new)[0] == 0b1111
+        assert changed_byte_count(old, new)[0] == 4
+
+    @given(f32_arrays)
+    @settings(max_examples=50)
+    def test_mask_symmetric(self, x):
+        y = np.ascontiguousarray(x[::-1].copy().reshape(x.shape))
+        np.testing.assert_array_equal(
+            byte_change_mask(x, y), byte_change_mask(y, x)
+        )
+
+
+class TestClassification:
+    def test_counts_sum(self):
+        rng = np.random.default_rng(0)
+        old = rng.standard_normal(1000).astype(np.float32)
+        new = old + rng.standard_normal(1000).astype(np.float32) * 1e-4
+        stats = classify_word_changes(old, new)
+        assert (
+            stats["last_byte"] + stats["last_two_bytes"] + stats["other"]
+            == stats["changed"]
+        )
+        assert stats["changed"] + stats["unchanged"] == 1000
+
+    def test_case1_only_last_byte(self):
+        old = np.array([0x3F800000, 0x3F800000], dtype=np.uint32).view(np.float32)
+        new = np.array([0x3F8000FF, 0x3F80FF00], dtype=np.uint32).view(np.float32)
+        stats = classify_word_changes(old, new)
+        assert stats["last_byte"] == 1  # first word: byte0 only
+        assert stats["last_two_bytes"] == 1  # second word: byte1 only
+        assert stats["other"] == 0
+
+    def test_case3_exponent_change(self):
+        old = np.array([1.0], dtype=np.float32)
+        new = np.array([2.0], dtype=np.float32)  # exponent differs
+        stats = classify_word_changes(old, new)
+        assert stats["other"] == 1
+
+    def test_small_perturbation_is_low_byte_dominated(self):
+        """Tiny relative updates mostly perturb low mantissa bytes —
+        the empirical basis of the paper's Observation 2."""
+        rng = np.random.default_rng(1)
+        old = rng.standard_normal(20000).astype(np.float32)
+        new = (old.astype(np.float64) * (1 + 1e-6)).astype(np.float32)
+        stats = classify_word_changes(old, new)
+        low2 = stats["last_byte"] + stats["last_two_bytes"]
+        assert low2 / max(stats["changed"], 1) > 0.9
