@@ -1,10 +1,20 @@
-.PHONY: install test bench bench-show report examples clean
+.PHONY: install test verify-resume verify-resume-full bench bench-show report examples clean
 
 install:
 	pip install -e '.[dev]' --no-build-isolation
 
-test:
+test: verify-resume
 	pytest tests/
+
+# Resume-equivalence harness: train / checkpoint / resume a tiny model in
+# every TrainerMode x precision x accumulation config and assert the
+# resumed run is bit-exact ("resume == never stopped").
+verify-resume:
+	PYTHONPATH=src python -m repro verify-resume
+
+# Same, plus the paper-scale case straddling DBA activation at step 500.
+verify-resume-full:
+	PYTHONPATH=src python -m repro verify-resume --full
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -4,8 +4,11 @@ Usage::
 
     python -m repro table1
     python -m repro fig11
-    python -m repro all          # every experiment, in paper order
-    python -m repro list         # show the experiment index
+    python -m repro all              # every experiment, in paper order
+    python -m repro list             # show the experiment index
+    python -m repro checkpoint --ckpt run.ckpt --steps 40
+    python -m repro resume --ckpt run.ckpt --steps 40
+    python -m repro verify-resume    # bit-exact resume-equivalence suite
 """
 
 from __future__ import annotations
@@ -202,6 +205,87 @@ EXPERIMENTS: dict[str, tuple[Callable[[], str], str]] = {
 }
 
 
+def _run_checkpoint(args) -> int:
+    """``repro checkpoint``: train the demo trainer and write a checkpoint."""
+    import os
+
+    from repro.offload import TrainerMode
+    from repro.state import save_state
+    from repro.state.verify import build_demo_trainer, demo_batches
+
+    os.makedirs(os.path.dirname(args.ckpt) or ".", exist_ok=True)
+    mode = TrainerMode(args.mode)
+    trainer = build_demo_trainer(
+        mode=mode,
+        mixed_precision=args.mixed_precision,
+        accumulation_steps=args.accumulation_steps,
+        act_aft_steps=args.act_aft_steps,
+        seed=args.seed,
+    )
+    trainer.train(demo_batches(args.steps, seed=args.seed + 1))
+    save_state(
+        args.ckpt,
+        trainer.state_dict(),
+        meta={
+            "writer": "repro.cli.checkpoint",
+            "demo": {
+                "mode": mode.value,
+                "mixed_precision": args.mixed_precision,
+                "accumulation_steps": args.accumulation_steps,
+                "act_aft_steps": args.act_aft_steps,
+                "seed": args.seed,
+            },
+        },
+    )
+    print(
+        f"trained {trainer.step_count} steps ({mode.value}); "
+        f"final loss {trainer.loss_curve[-1]:.4f}; "
+        f"checkpoint -> {args.ckpt}"
+    )
+    return 0
+
+
+def _run_resume(args) -> int:
+    """``repro resume``: continue a ``repro checkpoint`` run bit-exactly."""
+    from repro.offload import TrainerMode
+    from repro.state import CheckpointError, load_state
+    from repro.state.verify import build_demo_trainer, demo_batches
+
+    state, meta = load_state(args.ckpt)
+    demo = (meta or {}).get("demo")
+    if demo is None:
+        raise CheckpointError(
+            f"{args.ckpt!r} was not written by 'repro checkpoint' (no demo "
+            "run configuration in its metadata); resume it through "
+            "OffloadTrainer.load_checkpoint instead"
+        )
+    trainer = build_demo_trainer(
+        mode=TrainerMode(demo["mode"]),
+        mixed_precision=demo["mixed_precision"],
+        accumulation_steps=demo["accumulation_steps"],
+        act_aft_steps=demo["act_aft_steps"],
+        seed=demo["seed"],
+    )
+    trainer.load_state_dict(state)
+    start = trainer.step_count
+    batches = demo_batches(start + args.steps, seed=demo["seed"] + 1)
+    trainer.train(batches[start:])
+    print(
+        f"resumed at step {start}, trained to step {trainer.step_count} "
+        f"({demo['mode']}); final loss {trainer.loss_curve[-1]:.4f}"
+    )
+    return 0
+
+
+def _run_verify_resume(args) -> int:
+    """``repro verify-resume``: the bit-exact resume-equivalence suite."""
+    from repro.state.verify import render_verification, run_verification_suite
+
+    reports = run_verification_suite(include_paper_activation=args.full)
+    print(render_verification(reports))
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -210,13 +294,69 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "list", "report"],
-        help="experiment id (or 'all' / 'list' / 'report')",
+        choices=[
+            *EXPERIMENTS,
+            "all",
+            "list",
+            "report",
+            "checkpoint",
+            "resume",
+            "verify-resume",
+        ],
+        help=(
+            "experiment id (or 'all' / 'list' / 'report' / 'checkpoint' / "
+            "'resume' / 'verify-resume')"
+        ),
     )
     parser.add_argument(
         "--out",
         default="results",
         help="output directory for 'report' (default: results/)",
+    )
+    parser.add_argument(
+        "--ckpt",
+        default="results/demo.teco-ckpt",
+        help="checkpoint path for 'checkpoint' / 'resume'",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=40,
+        help="steps to train ('checkpoint') or continue ('resume')",
+    )
+    parser.add_argument(
+        "--mode",
+        default="teco-reduction",
+        choices=["zero-offload", "teco-cxl", "teco-reduction"],
+        help="trainer mode for 'checkpoint'",
+    )
+    parser.add_argument(
+        "--mixed-precision",
+        action="store_true",
+        help="run the 'checkpoint' demo in mixed precision",
+    )
+    parser.add_argument(
+        "--accumulation-steps",
+        type=int,
+        default=1,
+        help="gradient-accumulation depth for 'checkpoint'",
+    )
+    parser.add_argument(
+        "--act-aft-steps",
+        type=int,
+        default=8,
+        help="DBA activation threshold for 'checkpoint'",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="demo-run seed for 'checkpoint'"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help=(
+            "'verify-resume': include the paper-scale straddle case "
+            "(checkpoint across DBA activation at step 500)"
+        ),
     )
     args = parser.parse_args(argv)
     if args.experiment == "list":
@@ -230,6 +370,12 @@ def main(argv: list[str] | None = None) -> int:
         generate_report(args.out)
         print(f"wrote {args.out}/report.md and {args.out}/results.json")
         return 0
+    if args.experiment == "checkpoint":
+        return _run_checkpoint(args)
+    if args.experiment == "resume":
+        return _run_resume(args)
+    if args.experiment == "verify-resume":
+        return _run_verify_resume(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for i, name in enumerate(names):
         if i:

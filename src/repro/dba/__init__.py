@@ -16,7 +16,12 @@ merging with the stale resident copy:
   reproducing the Section VIII-D overhead numbers.
 """
 
-from repro.dba.activation import ActivationPolicy, check_activation
+from repro.dba.activation import (
+    ActivationPolicy,
+    check_activation,
+    fresh_policy,
+    reset_default_policy,
+)
 from repro.dba.aggregator import Aggregator
 from repro.dba.disaggregator import Disaggregator
 from repro.dba.hw import ASIC_RATIOS, FPGAImplementation, HardwareCost
@@ -28,6 +33,8 @@ __all__ = [
     "Disaggregator",
     "ActivationPolicy",
     "check_activation",
+    "fresh_policy",
+    "reset_default_policy",
     "FPGAImplementation",
     "HardwareCost",
     "ASIC_RATIOS",

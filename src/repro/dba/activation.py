@@ -22,7 +22,13 @@ from dataclasses import dataclass, field
 
 from repro.dba.registers import DBARegister
 
-__all__ = ["ActivationPolicy", "check_activation", "default_policy"]
+__all__ = [
+    "ActivationPolicy",
+    "check_activation",
+    "default_policy",
+    "fresh_policy",
+    "reset_default_policy",
+]
 
 #: Paper default for ``act_aft_steps`` (Section VIII-E: "Choosing the
 #: 500th step strikes a balance").
@@ -87,11 +93,57 @@ class ActivationPolicy:
         self._active = False
         self._activated_at = None
 
+    # -- checkpointing (repro.state protocol) ------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of configuration and sticky activation state."""
+        return {
+            "act_aft_steps": self.act_aft_steps,
+            "dirty_bytes": self.dirty_bytes,
+            "active": self._active,
+            "activated_at": self._activated_at,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (including config, so a
+        resumed run activates at exactly the checkpointed threshold)."""
+        self.act_aft_steps = int(state["act_aft_steps"])
+        self.dirty_bytes = int(state["dirty_bytes"])
+        self._active = bool(state["active"])
+        at = state["activated_at"]
+        self._activated_at = None if at is None else int(at)
+
 
 #: Process-wide policy backing the Listing-1 module-level API.
+#:
+#: Activation is *sticky*, so a bare ``check_activation(...)`` call leaves
+#: DBA latched on for the rest of the process — later runs in the same
+#: process would silently inherit it.  Library code should therefore use
+#: :func:`fresh_policy` (or construct :class:`ActivationPolicy` directly)
+#: and reserve this global for the Listing-1 two-line user API; tests reset
+#: it around every case (see ``tests/conftest.py``).
 default_policy = ActivationPolicy()
 
 
 def check_activation(step: int) -> bool:
     """Module-level convenience wrapper over :data:`default_policy`."""
     return default_policy.check_activation(step)
+
+
+def fresh_policy(
+    act_aft_steps: int = DEFAULT_ACT_AFT_STEPS,
+    dirty_bytes: int = DEFAULT_DIRTY_BYTES,
+) -> ActivationPolicy:
+    """A per-run policy, isolated from the process-global one.
+
+    Use this instead of :data:`default_policy` anywhere outside a literal
+    Listing-1 training loop, so one run's sticky activation cannot
+    contaminate the next run (or test) in the same process.
+    """
+    return ActivationPolicy(
+        act_aft_steps=act_aft_steps, dirty_bytes=dirty_bytes
+    )
+
+
+def reset_default_policy() -> None:
+    """Return the process-global Listing-1 policy to its pristine state."""
+    default_policy.reset()

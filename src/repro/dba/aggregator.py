@@ -78,12 +78,30 @@ class Aggregator:
         return out
 
     def pack_tensor(self, tensor: np.ndarray) -> np.ndarray:
-        """Aggregate a flat FP32 tensor (padded to whole lines)."""
+        """Aggregate a flat FP32 tensor (padded to whole lines).
+
+        The returned payload covers the padded line grid (the
+        Disaggregator needs the full-line shape to merge), but
+        :attr:`payload_bytes_produced` counts only the tensor's own words
+        — the zero-padding of a partial final line never crosses the
+        wire, so it must not inflate communication-volume accounting.
+        """
         flat = np.ascontiguousarray(tensor, dtype=np.float32).reshape(-1)
         rem = (-flat.size) % WORDS_PER_LINE
         if rem:
             flat = np.concatenate([flat, np.zeros(rem, dtype=np.float32)])
-        return self.pack_lines(flat.reshape(-1, WORDS_PER_LINE))
+        payload = self.pack_lines(flat.reshape(-1, WORDS_PER_LINE))
+        if rem:
+            self.payload_bytes_produced -= (
+                rem * self.register.effective_dirty_bytes
+            )
+        return payload
+
+    def tensor_payload_bytes(self, n_words: int) -> int:
+        """True wire bytes for an ``n_words`` tensor (padding excluded)."""
+        if n_words < 0:
+            raise ValueError("n_words must be non-negative")
+        return n_words * self.register.effective_dirty_bytes
 
     def payload_bytes_per_line(self) -> int:
         """Wire payload per 64-byte line under the current register."""

@@ -8,6 +8,7 @@ checkpoint under both systems and return both curves.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,14 +53,36 @@ class Fig10Result:
         return decreasing and close
 
 
-def _compare(setup, act_aft_steps: int, seed: int, lr: float) -> Fig10Result:
-    baseline = finetune(setup, TrainerMode.ZERO_OFFLOAD, lr=lr, seed=seed + 1)
+def _compare(
+    setup,
+    act_aft_steps: int,
+    seed: int,
+    lr: float,
+    checkpoint_dir=None,
+    checkpoint_every: int | None = None,
+    tag: str = "fig10",
+) -> Fig10Result:
+    def ckpt(name: str):
+        if checkpoint_dir is None:
+            return None
+        return os.path.join(os.fspath(checkpoint_dir), f"{tag}-{name}.teco-ckpt")
+
+    baseline = finetune(
+        setup,
+        TrainerMode.ZERO_OFFLOAD,
+        lr=lr,
+        seed=seed + 1,
+        checkpoint_path=ckpt("baseline"),
+        checkpoint_every=checkpoint_every,
+    )
     teco = finetune(
         setup,
         TrainerMode.TECO_REDUCTION,
         lr=lr,
         seed=seed + 1,
         policy=ActivationPolicy(act_aft_steps=act_aft_steps, dirty_bytes=2),
+        checkpoint_path=ckpt("teco"),
+        checkpoint_every=checkpoint_every,
     )
     return Fig10Result(
         baseline_curve=baseline.loss_curve,
@@ -73,10 +96,25 @@ def run_fig10(
     act_aft_steps: int = 30,
     seed: int = 0,
     lr: float = 5e-4,
+    checkpoint_dir=None,
+    checkpoint_every: int | None = None,
 ) -> Fig10Result:
-    """The GPT-2 panel: decoder-proxy fine-tuning loss curves."""
+    """The GPT-2 panel: decoder-proxy fine-tuning loss curves.
+
+    Pass ``checkpoint_dir`` (and optionally ``checkpoint_every``) to make
+    the two fine-tuning runs interruptible: killed sweeps resume
+    bit-exactly from their last checkpoint on the next invocation.
+    """
     setup = pretrained_lm(seed=seed, finetune_batches=n_steps)
-    return _compare(setup, act_aft_steps, seed, lr)
+    return _compare(
+        setup,
+        act_aft_steps,
+        seed,
+        lr,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        tag="fig10-gpt2",
+    )
 
 
 def run_fig10_albert(
@@ -84,7 +122,17 @@ def run_fig10_albert(
     act_aft_steps: int = 30,
     seed: int = 0,
     lr: float = 5e-4,
+    checkpoint_dir=None,
+    checkpoint_every: int | None = None,
 ) -> Fig10Result:
     """The Albert panel: shared-layer encoder fine-tuning loss curves."""
     setup = pretrained_classifier(seed=seed, finetune_batches=n_steps)
-    return _compare(setup, act_aft_steps, seed, lr)
+    return _compare(
+        setup,
+        act_aft_steps,
+        seed,
+        lr,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        tag="fig10-albert",
+    )

@@ -16,6 +16,8 @@ Two coupled measurements:
 
 from __future__ import annotations
 
+import os
+
 from repro.dba import ActivationPolicy
 from repro.experiments.runner import finetune, pretrained_lm
 from repro.models import get_model
@@ -54,22 +56,35 @@ def run_fig13(
     total_steps: int = 120,
     paper_total_steps: int = 1775,
     seed: int = 0,
+    checkpoint_dir=None,
+    checkpoint_every: int | None = None,
 ) -> list[dict]:
     """One row per activation point: proxy perplexity + modelled speedup.
 
     The timing side scales each sweep point to the paper's 1775-step run
-    proportionally, so speedups are comparable with Figure 13.
+    proportionally, so speedups are comparable with Figure 13.  With
+    ``checkpoint_dir`` each sweep point's fine-tuning run checkpoints to
+    its own file and resumes bit-exactly if the sweep is interrupted.
     """
     if any(not 0 <= s <= total_steps for s in sweep):
         raise ValueError("sweep points must lie within the run")
     setup = pretrained_lm(seed=seed, finetune_batches=total_steps)
     rows = []
     for act in sweep:
+        ckpt = (
+            None
+            if checkpoint_dir is None
+            else os.path.join(
+                os.fspath(checkpoint_dir), f"fig13-act{act}.teco-ckpt"
+            )
+        )
         trainer = finetune(
             setup,
             TrainerMode.TECO_REDUCTION,
             seed=seed + 1,
             policy=ActivationPolicy(act_aft_steps=act, dirty_bytes=2),
+            checkpoint_path=ckpt,
+            checkpoint_every=checkpoint_every,
         )
         ppl = trainer.model.perplexity(setup.eval_batch)
         paper_act = int(act / total_steps * paper_total_steps)

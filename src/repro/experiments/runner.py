@@ -9,6 +9,7 @@ comparisons then run from identical checkpoints.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -179,9 +180,35 @@ def finetune(
     lr: float = 5e-4,
     seed: int = 99,
     policy=None,
+    checkpoint_path: str | os.PathLike | None = None,
+    checkpoint_every: int | None = None,
 ) -> OffloadTrainer:
-    """Fine-tune a fresh copy of the setup's checkpoint under ``mode``."""
+    """Fine-tune a fresh copy of the setup's checkpoint under ``mode``.
+
+    With ``checkpoint_path`` the run becomes interruptible: an existing
+    checkpoint at that path is resumed (bit-exactly — already-trained
+    batches are skipped), and with ``checkpoint_every`` the trainer
+    re-checkpoints every that-many steps.  Long Figure-10/13 sweeps can
+    then be killed and relaunched without redoing finished work.
+    """
     model = setup.fresh_model(make_rng(seed))
     trainer = OffloadTrainer(model, mode=mode, lr=lr, policy=policy)
-    trainer.train(setup.train_batches)
+    batches = setup.train_batches
+    start = 0
+    if checkpoint_path is not None and os.path.exists(checkpoint_path):
+        trainer.load_checkpoint(checkpoint_path)
+        start = trainer.step_count
+        if start > len(batches):
+            raise ValueError(
+                f"checkpoint at {checkpoint_path!r} has {start} steps but "
+                f"this run only has {len(batches)} batches; wrong checkpoint?"
+            )
+    for i in range(start, len(batches)):
+        trainer.step(*batches[i])
+        if (
+            checkpoint_path is not None
+            and checkpoint_every is not None
+            and (i + 1) % checkpoint_every == 0
+        ):
+            trainer.save_checkpoint(checkpoint_path)
     return trainer

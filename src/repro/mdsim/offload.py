@@ -95,12 +95,14 @@ class MDOffloadSimulation:
         fresh = self.positions.astype(np.float32)
         # Positions ship CPU -> accelerator.
         if self.dba:
-            payload = Aggregator(self.register).pack_tensor(fresh.ravel())
+            aggregator = Aggregator(self.register)
+            payload = aggregator.pack_tensor(fresh.ravel())
             merged = Disaggregator(self.register).merge_tensor(
                 self.device_positions.ravel(), payload
             )
             self.device_positions = merged.reshape(fresh.shape)
-            dba_bytes = payload.size
+            # True wire bytes: cache-line zero-padding is not shipped.
+            dba_bytes = aggregator.payload_bytes_produced
         else:
             self.device_positions = fresh
             dba_bytes = fresh.nbytes

@@ -27,7 +27,7 @@ from repro.offload.engines import (
 )
 from repro.offload.memory import MemoryBudget, MemoryModel
 from repro.offload.timing import HardwareParams
-from repro.offload.trainer import OffloadTrainer, TrainerMode
+from repro.offload.trainer import CommVolume, OffloadTrainer, TrainerMode
 
 __all__ = [
     "FlatArena",
@@ -41,4 +41,5 @@ __all__ = [
     "simulate_system",
     "OffloadTrainer",
     "TrainerMode",
+    "CommVolume",
 ]

@@ -28,9 +28,15 @@ import numpy as np
 from repro.dba import ActivationPolicy, Aggregator, DBARegister, Disaggregator
 from repro.offload.arena import FlatArena
 from repro.optim import FlatAdam, LossScaler, clip_flat_gradients, fp16_round_trip
+from repro.state.checkpoint import (
+    StateMismatchError,
+    is_legacy_checkpoint,
+    load_state,
+    save_state,
+)
 from repro.tensor.nn import Module
 
-__all__ = ["TrainerMode", "StepResult", "OffloadTrainer"]
+__all__ = ["TrainerMode", "StepResult", "CommVolume", "OffloadTrainer"]
 
 
 class TrainerMode(enum.Enum):
@@ -76,6 +82,24 @@ class CommVolume:
         if self.param_bytes_full_equivalent == 0:
             return 0.0
         return 1.0 - self.param_bytes / self.param_bytes_full_equivalent
+
+    # -- checkpointing (repro.state protocol) ------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the cumulative byte counters."""
+        return {
+            "param_bytes": self.param_bytes,
+            "grad_bytes": self.grad_bytes,
+            "param_bytes_full_equivalent": self.param_bytes_full_equivalent,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot, so a resumed run's
+        communication accounting continues from the interruption point."""
+        self.param_bytes = int(state["param_bytes"])
+        self.grad_bytes = int(state["grad_bytes"])
+        self.param_bytes_full_equivalent = int(
+            state["param_bytes_full_equivalent"]
+        )
 
 
 class OffloadTrainer:
@@ -139,6 +163,16 @@ class OffloadTrainer:
         #: Optional per-step learning-rate schedule (repro.optim.schedule).
         self.lr_schedule = lr_schedule
 
+    def _dba_active_now(self) -> bool:
+        """Whether DBA applies to transfers right now.
+
+        The policy's sticky flag alone is not enough: a pre-activated
+        (e.g. shared or process-global) policy must not make ZeRO-Offload
+        or TECO-CXL histories claim DBA was active — only TECO-Reduction
+        runs the byte-truncating path.
+        """
+        return self.mode is TrainerMode.TECO_REDUCTION and self.policy.active
+
     # -- the five phases -----------------------------------------------------
     def step(self, *batch) -> StepResult:
         """Run one full training step on ``batch``."""
@@ -168,7 +202,7 @@ class OffloadTrainer:
                     step=self.step_count,
                     loss=float(loss.item()),
                     grad_norm=0.0,
-                    dba_active=self.policy.active,
+                    dba_active=self._dba_active_now(),
                     param_payload_bytes=0,
                     grad_payload_bytes=grad_payload,
                     skipped=False,
@@ -199,7 +233,7 @@ class OffloadTrainer:
                     step=self.step_count,
                     loss=float(loss.item()),
                     grad_norm=float("nan"),
-                    dba_active=self.policy.active,
+                    dba_active=self._dba_active_now(),
                     param_payload_bytes=0,
                     grad_payload_bytes=grad_payload,
                     skipped=True,
@@ -227,11 +261,14 @@ class OffloadTrainer:
             register = DBARegister(
                 enabled=True, dirty_bytes=self.policy.dirty_bytes
             )
-            payload = Aggregator(register).pack_tensor(self.arena.params)
+            aggregator = Aggregator(register)
+            payload = aggregator.pack_tensor(self.arena.params)
             self.gpu_params = Disaggregator(register).merge_tensor(
                 self.gpu_params, payload
             )
-            param_payload = payload.size
+            # True wire bytes: the zero-padding of a partial final cache
+            # line is never transmitted, so it is excluded here.
+            param_payload = aggregator.payload_bytes_produced
         else:
             self.gpu_params = self.arena.snapshot()
             param_payload = self.arena.params.nbytes
@@ -275,32 +312,184 @@ class OffloadTrainer:
         """Per-step losses of the run so far."""
         return [r.loss for r in self.history]
 
-    # -- checkpointing -----------------------------------------------------
-    def save_checkpoint(self, path) -> None:
-        """Persist everything needed to resume: CPU master parameters,
-        the device copy (which may have diverged under DBA), ADAM moments
-        and step counters, and DBA activation state."""
-        np.savez_compressed(
-            path,
-            params=self.arena.params,
-            gpu_params=self.gpu_params,
-            adam_m=self.optimizer.m,
-            adam_v=self.optimizer.v,
-            adam_steps=np.int64(self.optimizer.step_count),
-            step_count=np.int64(self.step_count),
-            dba_active=np.bool_(self.policy.active),
-            dba_activated_at=np.int64(
-                -1
-                if self.policy.activated_at is None
-                else self.policy.activated_at
+    # -- checkpointing (repro.state protocol) ------------------------------
+    def state_dict(self) -> dict:
+        """Complete resume state: everything a fresh trainer needs so
+        that resuming is bit-exact — ``resume == never stopped``.
+
+        Beyond the parameter/moment arrays this captures the
+        mixed-precision loss-scaler state, the gradient-accumulation
+        buffer and micro-step position (a checkpoint may land
+        mid-accumulation-window), comm-volume counters, the live
+        (schedule-mutated) learning rate, DBA activation state, and the
+        full step history.
+        """
+        return {
+            "mode": self.mode.value,
+            "mixed_precision": self.mixed_precision,
+            "accumulation_steps": self.accumulation_steps,
+            "max_grad_norm": self.max_grad_norm,
+            "step_count": self.step_count,
+            "micro_step": self._micro_step,
+            "params": self.arena.params.copy(),
+            "gpu_params": self.gpu_params.copy(),
+            "accum": None if self._accum is None else self._accum.copy(),
+            "optimizer": self.optimizer.state_dict(),
+            "loss_scaler": (
+                None
+                if self.loss_scaler is None
+                else self.loss_scaler.state_dict()
             ),
+            "policy": self.policy.state_dict(),
+            "volume": self.volume.state_dict(),
+            "lr_schedule": (
+                None
+                if self.lr_schedule is None
+                else self.lr_schedule.state_dict()
+            ),
+            "history": self._history_arrays(),
+        }
+
+    def _history_arrays(self) -> dict:
+        """Column-wise array encoding of the StepResult history."""
+        h = self.history
+        return {
+            "step": np.array([r.step for r in h], dtype=np.int64),
+            "loss": np.array([r.loss for r in h], dtype=np.float64),
+            "grad_norm": np.array([r.grad_norm for r in h], dtype=np.float64),
+            "dba_active": np.array([r.dba_active for r in h], dtype=np.bool_),
+            "param_payload_bytes": np.array(
+                [r.param_payload_bytes for r in h], dtype=np.int64
+            ),
+            "grad_payload_bytes": np.array(
+                [r.grad_payload_bytes for r in h], dtype=np.int64
+            ),
+            "skipped": np.array([r.skipped for r in h], dtype=np.bool_),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this trainer.
+
+        Raises
+        ------
+        repro.state.StateMismatchError
+            When the checkpoint does not fit this trainer: different
+            parameter count, trainer mode, accumulation depth — or a
+            mixed-precision checkpoint loaded into a non-mixed trainer
+            (and vice versa), which would silently lose or fabricate
+            loss-scaler state.
+        """
+        params = state["params"]
+        if params.shape != (self.arena.n_params,):
+            raise StateMismatchError(
+                f"checkpoint parameter count does not match the model "
+                f"(checkpoint has {params.shape[0] if params.ndim else '?'}, "
+                f"model has {self.arena.n_params})"
+            )
+        if state["mode"] != self.mode.value:
+            raise StateMismatchError(
+                f"checkpoint was written by a {state['mode']!r} trainer "
+                f"but this trainer runs {self.mode.value!r}; resuming "
+                "across modes would change the dataflow mid-run"
+            )
+        if state["mixed_precision"] and not self.mixed_precision:
+            raise StateMismatchError(
+                "checkpoint is from a mixed-precision run but this "
+                "trainer was built with mixed_precision=False; the "
+                "loss-scaler state would be dropped — construct the "
+                "trainer with mixed_precision=True to resume"
+            )
+        if not state["mixed_precision"] and self.mixed_precision:
+            raise StateMismatchError(
+                "checkpoint is from a full-precision run but this "
+                "trainer was built with mixed_precision=True; there is "
+                "no loss-scaler state to resume from"
+            )
+        if int(state["accumulation_steps"]) != self.accumulation_steps:
+            raise StateMismatchError(
+                f"checkpoint used accumulation_steps="
+                f"{state['accumulation_steps']}, this trainer uses "
+                f"{self.accumulation_steps}; the banked gradient window "
+                "would be misaligned"
+            )
+        if state["lr_schedule"] is not None and self.lr_schedule is None:
+            raise StateMismatchError(
+                "checkpoint was written with an LR schedule "
+                f"({state['lr_schedule']['kind']}) but this trainer has "
+                "none; the resumed learning-rate trajectory would differ"
+            )
+        if self.lr_schedule is not None and state["lr_schedule"] is not None:
+            self.lr_schedule.load_state_dict(state["lr_schedule"])
+
+        self.arena.params[...] = params
+        self.gpu_params = np.asarray(
+            state["gpu_params"], dtype=np.float32
+        ).copy()
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.policy.load_state_dict(state["policy"])
+        self.volume.load_state_dict(state["volume"])
+        if self.loss_scaler is not None:
+            self.loss_scaler.load_state_dict(state["loss_scaler"])
+        self.max_grad_norm = float(state["max_grad_norm"])
+        self.step_count = int(state["step_count"])
+        self._micro_step = int(state["micro_step"])
+        if self._accum is not None:
+            accum = state["accum"]
+            self._accum[...] = 0.0 if accum is None else accum
+        hist = state["history"]
+        self.history = [
+            StepResult(
+                step=int(hist["step"][i]),
+                loss=float(hist["loss"][i]),
+                grad_norm=float(hist["grad_norm"][i]),
+                dba_active=bool(hist["dba_active"][i]),
+                param_payload_bytes=int(hist["param_payload_bytes"][i]),
+                grad_payload_bytes=int(hist["grad_payload_bytes"][i]),
+                skipped=bool(hist["skipped"][i]),
+            )
+            for i in range(len(hist["step"]))
+        ]
+        self.arena.push_params(self.gpu_params)
+
+    def save_checkpoint(self, path) -> None:
+        """Write a versioned, CRC-checked checkpoint atomically.
+
+        The file carries :meth:`state_dict` in the
+        :mod:`repro.state.checkpoint` container — a crash mid-write
+        leaves any previous checkpoint at ``path`` untouched.
+        """
+        save_state(
+            path,
+            self.state_dict(),
+            meta={
+                "writer": "repro.offload.trainer.OffloadTrainer",
+                "n_params": self.arena.n_params,
+                "mode": self.mode.value,
+                "mixed_precision": self.mixed_precision,
+                "accumulation_steps": self.accumulation_steps,
+            },
         )
 
     def load_checkpoint(self, path) -> None:
-        """Restore a checkpoint written by :meth:`save_checkpoint`."""
+        """Restore a checkpoint written by :meth:`save_checkpoint`.
+
+        Seed-era ``np.savez`` checkpoints load through a migration path:
+        the fields they carry (parameters, device copy, ADAM state, DBA
+        activation) are restored and everything the old format dropped
+        (loss scaler, accumulation buffer, comm-volume counters, history)
+        starts fresh — matching what those checkpoints actually contain.
+        """
+        if is_legacy_checkpoint(path):
+            self._load_legacy_checkpoint(path)
+            return
+        state, _meta = load_state(path)
+        self.load_state_dict(state)
+
+    def _load_legacy_checkpoint(self, path) -> None:
+        """Migrate a seed-format ``np.savez`` checkpoint."""
         with np.load(path) as data:
             if data["params"].shape != (self.arena.n_params,):
-                raise ValueError(
+                raise StateMismatchError(
                     "checkpoint parameter count does not match the model"
                 )
             self.arena.params[...] = data["params"]

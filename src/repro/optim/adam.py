@@ -68,6 +68,41 @@ class FlatAdam:
         """CPU-memory footprint of the optimizer states."""
         return self.m.nbytes + self.v.nbytes
 
+    # -- checkpointing (repro.state protocol) ------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of moments, step counter and hyper-parameters."""
+        return {
+            "n_params": self.n_params,
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "step_count": self.step_count,
+            "m": self.m.copy(),
+            "v": self.v.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (bit-exact resume).
+
+        The learning rate is restored too — schedules mutate it in place,
+        so the checkpointed value is the one the next step must see.
+        """
+        if int(state["n_params"]) != self.n_params:
+            raise ValueError(
+                f"optimizer state is for {state['n_params']} parameters, "
+                f"this optimizer has {self.n_params}"
+            )
+        self.lr = float(state["lr"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self.step_count = int(state["step_count"])
+        self.m[...] = state["m"]
+        self.v[...] = state["v"]
+
     def step(
         self,
         params: np.ndarray,

@@ -63,6 +63,32 @@ class LossScaler:
         self._good_steps = 0
         self.overflows = 0
 
+    # -- checkpointing (repro.state protocol) ------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the dynamic scale and its growth bookkeeping."""
+        return {
+            "scale": self.scale,
+            "growth_interval": self.growth_interval,
+            "backoff": self.backoff,
+            "max_scale": self.max_scale,
+            "good_steps": self._good_steps,
+            "overflows": self.overflows,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        Without this, a resumed mixed-precision run restarts from
+        ``init_scale`` with a reset growth streak and diverges from the
+        uninterrupted run at the first growth/overflow event.
+        """
+        self.scale = float(state["scale"])
+        self.growth_interval = int(state["growth_interval"])
+        self.backoff = float(state["backoff"])
+        self.max_scale = float(state["max_scale"])
+        self._good_steps = int(state["good_steps"])
+        self.overflows = int(state["overflows"])
+
     def scale_loss(self, loss: float) -> float:
         """Multiply a loss value by the current scale."""
         return loss * self.scale

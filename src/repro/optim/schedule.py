@@ -7,6 +7,7 @@ way DeepSpeed's client schedulers drive the CPU-ADAM.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 __all__ = ["LRSchedule", "ConstantLR", "WarmupLinearDecay", "CosineDecay"]
@@ -26,6 +27,30 @@ class LRSchedule:
         lr = self.lr_at(step)
         optimizer.lr = lr
         return lr
+
+    # -- checkpointing (repro.state protocol) ------------------------------
+    def state_dict(self) -> dict:
+        """Kind + configuration of the schedule.
+
+        Schedules are frozen functions of the step index (the live state
+        they drive sits in ``optimizer.step_count`` / ``optimizer.lr``),
+        so the snapshot exists to *validate* that a resumed run uses the
+        same schedule, not to restore anything.
+        """
+        config = (
+            dataclasses.asdict(self) if dataclasses.is_dataclass(self) else {}
+        )
+        return {"kind": type(self).__name__, "config": config}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Check a :meth:`state_dict` snapshot matches this schedule."""
+        mine = self.state_dict()
+        if state["kind"] != mine["kind"] or state["config"] != mine["config"]:
+            raise ValueError(
+                f"checkpoint used LR schedule {state['kind']}"
+                f"({state['config']}), this trainer has {mine['kind']}"
+                f"({mine['config']}); resume requires the same schedule"
+            )
 
 
 @dataclass(frozen=True)

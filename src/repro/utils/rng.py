@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn"]
+__all__ = ["make_rng", "spawn", "rng_state_dict", "load_rng_state"]
 
 DEFAULT_SEED = 0x7EC0  # "TECO"
 
@@ -25,3 +25,23 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     if n < 0:
         raise ValueError("n must be non-negative")
     return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+
+
+def rng_state_dict(rng: np.random.Generator) -> dict:
+    """JSON-able snapshot of a generator's exact position in its stream.
+
+    Checkpointing this (rather than the seed) is what makes runs with
+    live stochastic components — dropout, data sampling — resumable
+    bit-exactly: reseeding would replay the stream from the start.
+    """
+    return {"bit_generator_state": rng.bit_generator.state}
+
+
+def load_rng_state(rng: np.random.Generator, state: dict) -> np.random.Generator:
+    """Restore a generator to a :func:`rng_state_dict` snapshot in place.
+
+    The bit-generator types must match (PCG64 state cannot be loaded
+    into an MT19937 generator, and numpy raises accordingly).
+    """
+    rng.bit_generator.state = state["bit_generator_state"]
+    return rng

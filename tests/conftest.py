@@ -1,0 +1,21 @@
+"""Shared test fixtures.
+
+The Listing-1 module-level API (``from TECO import check_activation``)
+is backed by a process-global :data:`repro.dba.activation.default_policy`
+whose activation is *sticky* — one test (or example) calling
+``check_activation(step >= act_aft_steps)`` would leave DBA latched on
+for every later test in the process.  The autouse fixture below resets it
+around every test so no case can contaminate another.
+"""
+
+import pytest
+
+from repro.dba.activation import reset_default_policy
+
+
+@pytest.fixture(autouse=True)
+def _pristine_default_policy():
+    """Reset the process-global DBA policy before and after each test."""
+    reset_default_policy()
+    yield
+    reset_default_policy()
