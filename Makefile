@@ -1,4 +1,4 @@
-.PHONY: install test verify-resume verify-resume-full bench bench-show report examples clean
+.PHONY: install test verify-resume verify-resume-full bench bench-show bench-smoke report examples clean
 
 install:
 	pip install -e '.[dev]' --no-build-isolation
@@ -21,6 +21,14 @@ bench:
 
 bench-show:
 	pytest benchmarks/ --benchmark-only -s
+
+# Seconds-scale perf regression gate: hot kernels + one headline op at
+# tiny shapes, compared against the committed BENCH_baseline.json
+# (fails on >2x slowdown).  Refresh the baseline after an intentional
+# perf change with:
+#   PYTHONPATH=src python benchmarks/bench_smoke.py --update-baseline
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_smoke.py
 
 report:
 	python -m repro report --out results

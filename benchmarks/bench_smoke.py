@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Smoke bench-regression gate (``make bench-smoke``).
+
+Runs the hot kernels of the memsim -> trace -> DBA pipeline plus one
+headline end-to-end op at *tiny* shapes (a couple of seconds total),
+writes ``BENCH_smoke.json`` next to this file, and fails — exit status 1
+— if any op has regressed more than 2x against the committed
+``BENCH_baseline.json``.  The 2x gate is deliberately loose: it ignores
+machine jitter and CI noise but catches the accidental
+"vectorized path fell back to the Python loop" class of regression.
+
+Refreshing the baseline (after an intentional perf change, on a quiet
+machine)::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py --update-baseline
+
+and commit the regenerated ``BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dba import Aggregator, DBARegister, Disaggregator
+from repro.memsim import CacheHierarchy, SetAssociativeCache, WritebackTrace
+from repro.models import evaluation_models
+from repro.offload import SystemKind, simulate_system
+from repro.trace import replay_trace, simulate_sweep_writebacks
+
+HERE = Path(__file__).parent
+SMOKE_PATH = HERE / "BENCH_smoke.json"
+BASELINE_PATH = HERE / "BENCH_baseline.json"
+REGRESSION_FACTOR = 2.0
+REPEATS = 5  # best-of-N wall time per op
+
+
+def _timed(fn, elements):
+    """Best-of-N seconds and derived elements/s throughput for ``fn``."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return {"seconds": best, "throughput": elements / best, "elements": elements}
+
+
+def op_cache_access_block():
+    n = 1 << 16
+    addrs = np.random.default_rng(0).integers(0, 1 << 22, n)
+    cache = SetAssociativeCache(64 * 2**10, 64, 16)
+    return _timed(lambda: cache.access_block(addrs, True), n)
+
+
+def op_hierarchy_access_block():
+    n = 1 << 14
+    addrs = np.random.default_rng(1).integers(0, 1 << 20, n)
+    hierarchy = CacheHierarchy(
+        [
+            SetAssociativeCache(8 * 2**10, 64, 8, name="L1D"),
+            SetAssociativeCache(64 * 2**10, 64, 16, name="L2"),
+        ]
+    )
+    return _timed(lambda: hierarchy.access_block(addrs, True), n)
+
+
+def op_dba_pack():
+    n = 1 << 16
+    tensor = np.random.default_rng(2).standard_normal(n).astype(np.float32)
+    agg = Aggregator(DBARegister.paper_default())
+    return _timed(lambda: agg.pack_tensor(tensor), n)
+
+
+def op_dba_unpack():
+    n = 1 << 16
+    rng = np.random.default_rng(3)
+    reg = DBARegister.paper_default()
+    stale = rng.standard_normal(n).astype(np.float32)
+    payload = Aggregator(reg).pack_tensor(
+        rng.standard_normal(n).astype(np.float32)
+    )
+    dis = Disaggregator(reg)
+    return _timed(lambda: dis.unpack(stale, payload), n)
+
+
+def op_trace_replay():
+    n = 1 << 18
+    times = np.sort(np.random.default_rng(4).random(n))
+    trace = WritebackTrace(times, np.arange(n, dtype=np.uint64) * 64)
+    return _timed(lambda: replay_trace(trace), n)
+
+
+def op_sweep_trace():
+    param_bytes = 64 * 1024
+
+    def run():
+        hierarchy = CacheHierarchy(
+            [SetAssociativeCache(8 * 2**10, 64, 8, name="L1D")]
+        )
+        simulate_sweep_writebacks(param_bytes, 1.0, hierarchy)
+
+    return _timed(run, param_bytes // 64)
+
+
+def op_headline_system_model():
+    spec = evaluation_models()[0]
+
+    def run():
+        base = simulate_system(SystemKind.ZERO_OFFLOAD, spec, 4)
+        red = simulate_system(SystemKind.TECO_REDUCTION, spec, 4)
+        assert red.comm_overhead_reduction_vs(base) > 0
+
+    return _timed(run, 1)
+
+
+OPS = {
+    "cache_access_block_64k": op_cache_access_block,
+    "hierarchy_access_block_16k": op_hierarchy_access_block,
+    "dba_pack_64k_words": op_dba_pack,
+    "dba_unpack_64k_words": op_dba_unpack,
+    "trace_replay_256k_events": op_trace_replay,
+    "sweep_trace_64KiB_arena": op_sweep_trace,
+    "headline_system_model": op_headline_system_model,
+}
+
+
+def main(argv) -> int:
+    update = "--update-baseline" in argv
+    results = {}
+    for name, op in OPS.items():
+        results[name] = op()
+        print(
+            f"{name:32s} {results[name]['seconds'] * 1e3:9.3f} ms   "
+            f"{results[name]['throughput']:.3g} el/s"
+        )
+    SMOKE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {SMOKE_PATH}")
+
+    if update:
+        BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+    if not BASELINE_PATH.exists():
+        print(f"ERROR: no baseline at {BASELINE_PATH}; run --update-baseline")
+        return 1
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = []
+    for name, cur in results.items():
+        ref = baseline.get(name)
+        if ref is None:
+            print(f"NOTE: {name} not in baseline (new op) — skipped")
+            continue
+        ratio = cur["seconds"] / ref["seconds"]
+        status = "OK" if ratio <= REGRESSION_FACTOR else "REGRESSED"
+        print(f"{name:32s} {ratio:5.2f}x baseline   {status}")
+        if ratio > REGRESSION_FACTOR:
+            failures.append((name, ratio))
+    if failures:
+        print(
+            f"FAIL: {len(failures)} op(s) slower than "
+            f"{REGRESSION_FACTOR}x baseline: "
+            + ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)
+        )
+        return 1
+    print("bench smoke gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -42,10 +42,32 @@ class Disaggregator:
         """Receive the DBA-register value from the CXL host agent."""
         self.register = register
 
+    def _validated(
+        self, stale_lines: np.ndarray, payload: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        stale_lines = np.ascontiguousarray(stale_lines, dtype=np.float32)
+        if stale_lines.ndim != 2 or stale_lines.shape[1] != WORDS_PER_LINE:
+            raise ValueError(
+                f"expected (n, {WORDS_PER_LINE}) float32, got {stale_lines.shape}"
+            )
+        n = self.register.effective_dirty_bytes
+        expected = (stale_lines.shape[0], WORDS_PER_LINE * n)
+        payload = np.asarray(payload, dtype=np.uint8)
+        if payload.shape != expected:
+            raise ValueError(
+                f"payload shape {payload.shape} != expected {expected}"
+            )
+        return stale_lines, payload, n
+
     def merge_lines(
         self, stale_lines: np.ndarray, payload: np.ndarray
     ) -> np.ndarray:
-        """Merge wire payloads into stale lines.
+        """Merge wire payloads into stale lines (vectorized fast path).
+
+        The payload is scattered into the low byte lanes of a zeroed
+        little-endian byte grid with one strided copy and reinterpreted as
+        words — no per-byte shift/OR passes.  Bit-identical to
+        :meth:`merge_lines_scalar`, the per-word reference.
 
         Parameters
         ----------
@@ -60,30 +82,45 @@ class Disaggregator:
         numpy.ndarray
             Reconstructed FP32 lines ``(n_lines, 16)``.
         """
-        stale_lines = np.ascontiguousarray(stale_lines, dtype=np.float32)
-        if stale_lines.ndim != 2 or stale_lines.shape[1] != WORDS_PER_LINE:
-            raise ValueError(
-                f"expected (n, {WORDS_PER_LINE}) float32, got {stale_lines.shape}"
-            )
-        n = self.register.effective_dirty_bytes
-        expected = (stale_lines.shape[0], WORDS_PER_LINE * n)
-        payload = np.asarray(payload, dtype=np.uint8)
-        if payload.shape != expected:
-            raise ValueError(
-                f"payload shape {payload.shape} != expected {expected}"
-            )
-        chunks = payload.reshape(stale_lines.shape[0], WORDS_PER_LINE, n)
-        fresh_low = np.zeros(
-            (stale_lines.shape[0], WORDS_PER_LINE), dtype=np.uint32
-        )
-        for j in range(n):
-            fresh_low |= chunks[:, :, j].astype(np.uint32) << np.uint32(8 * j)
+        stale_lines, payload, n = self._validated(stale_lines, payload)
+        rows = stale_lines.shape[0]
+        lanes = np.zeros((rows, WORDS_PER_LINE, 4), dtype=np.uint8)
+        lanes[:, :, :n] = payload.reshape(rows, WORDS_PER_LINE, n)
+        # "<u4" makes byte lane j the (8j)-shifted byte on any host.
+        fresh_low = lanes.view("<u4")[:, :, 0].astype(np.uint32, copy=False)
         mask = low_byte_mask(n)
         stale_words = float32_to_words(stale_lines)
         merged = (stale_words & ~mask) | (fresh_low & mask)
-        self.lines_merged += stale_lines.shape[0]
-        self.extra_reads += stale_lines.shape[0] if self.register.enabled else 0
+        self.lines_merged += rows
+        self.extra_reads += rows if self.register.enabled else 0
         return words_to_float32(merged.astype(np.uint32))
+
+    def merge_lines_scalar(
+        self, stale_lines: np.ndarray, payload: np.ndarray
+    ) -> np.ndarray:
+        """Reference merge: one Python iteration per FP32 word.
+
+        The literal transcription of the paper's three-step reset/shift/OR
+        logic; :meth:`merge_lines` must reproduce it bit-for-bit.  Counters
+        advance exactly as in the fast path.
+        """
+        stale_lines, payload, n = self._validated(stale_lines, payload)
+        rows = stale_lines.shape[0]
+        chunks = payload.reshape(rows, WORDS_PER_LINE, n)
+        mask = int(low_byte_mask(n))
+        stale_words = float32_to_words(stale_lines)
+        merged = np.empty((rows, WORDS_PER_LINE), dtype=np.uint32)
+        for i in range(rows):
+            for j in range(WORDS_PER_LINE):
+                low = 0
+                for b in range(n):
+                    low |= int(chunks[i, j, b]) << (8 * b)
+                merged[i, j] = (int(stale_words[i, j]) & ~mask & 0xFFFFFFFF) | (
+                    low & mask
+                )
+        self.lines_merged += rows
+        self.extra_reads += rows if self.register.enabled else 0
+        return words_to_float32(merged)
 
     def merge_tensor(
         self, stale: np.ndarray, payload: np.ndarray
@@ -100,3 +137,10 @@ class Disaggregator:
             padded.reshape(-1, WORDS_PER_LINE), payload
         ).reshape(-1)
         return merged[: flat.size].reshape(stale.shape)
+
+    def unpack(self, stale: np.ndarray, payload: np.ndarray) -> np.ndarray:
+        """The tensor-level inverse of
+        :meth:`repro.dba.aggregator.Aggregator.pack_tensor` — alias of
+        :meth:`merge_tensor`, named for the pack/unpack pair the batch
+        API exposes."""
+        return self.merge_tensor(stale, payload)

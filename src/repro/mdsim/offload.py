@@ -97,7 +97,7 @@ class MDOffloadSimulation:
         if self.dba:
             aggregator = Aggregator(self.register)
             payload = aggregator.pack_tensor(fresh.ravel())
-            merged = Disaggregator(self.register).merge_tensor(
+            merged = Disaggregator(self.register).unpack(
                 self.device_positions.ravel(), payload
             )
             self.device_positions = merged.reshape(fresh.shape)

@@ -12,14 +12,20 @@ the pieces needed to produce and consume such traces natively:
   Ramulator stand-in for Section VIII-D's extra-read experiment).
 """
 
-from repro.memsim.cache import CacheStats, SetAssociativeCache
+from repro.memsim.cache import BlockAccessResult, CacheStats, SetAssociativeCache
 from repro.memsim.cpu import CPUModel, gem5_avx_cpu
 from repro.memsim.dram import DRAMModel, DRAMTimings
-from repro.memsim.hierarchy import CacheHierarchy, gem5_avx_hierarchy
+from repro.memsim.hierarchy import (
+    CacheHierarchy,
+    HierarchyBlockResult,
+    gem5_avx_hierarchy,
+)
 from repro.memsim.trace import MemoryAccess, WritebackEvent, WritebackTrace
 
 __all__ = [
     "SetAssociativeCache",
+    "BlockAccessResult",
+    "HierarchyBlockResult",
     "CPUModel",
     "gem5_avx_cpu",
     "CacheStats",

@@ -263,7 +263,7 @@ class OffloadTrainer:
             )
             aggregator = Aggregator(register)
             payload = aggregator.pack_tensor(self.arena.params)
-            self.gpu_params = Disaggregator(register).merge_tensor(
+            self.gpu_params = Disaggregator(register).unpack(
                 self.gpu_params, payload
             )
             # True wire bytes: the zero-padding of a partial final cache

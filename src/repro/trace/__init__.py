@@ -18,7 +18,12 @@ from repro.trace.generator import (
     gradient_writeback_trace,
     simulate_sweep_writebacks,
 )
-from repro.trace.replay import ReplayResult, replay_trace
+from repro.trace.replay import (
+    ReplayResult,
+    replay_trace,
+    replay_trace_chunked,
+    replay_trace_scalar,
+)
 
 __all__ = [
     "adam_writeback_trace",
@@ -26,4 +31,6 @@ __all__ = [
     "simulate_sweep_writebacks",
     "ReplayResult",
     "replay_trace",
+    "replay_trace_chunked",
+    "replay_trace_scalar",
 ]

@@ -100,6 +100,44 @@ class TestAggregator:
         payload = agg.pack_tensor(np.zeros(20, dtype=np.float32))
         assert payload.shape == (2, 32)  # 20 words -> 2 lines
 
+    @pytest.mark.parametrize("db", [1, 2, 3, 4])
+    @pytest.mark.parametrize(
+        "n_words",
+        # Straddle line boundaries in every way: exact multiples, one
+        # short, one over, mid-line, and a single word.
+        [1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100],
+    )
+    def test_pack_tensor_payload_accounting(self, db, n_words):
+        """``payload_bytes_produced`` counts only *tensor* bytes.
+
+        ``pack_tensor`` pads the last partial line with zero words to make
+        whole cache lines, but zero-padding never crosses the wire, so the
+        counter must equal ``tensor_payload_bytes(n_words)`` — i.e.
+        ``n_words * effective_dirty_bytes`` exactly — for the vectorized
+        and scalar packers alike (they share the accounting path).
+        """
+        reg = DBARegister(enabled=True, dirty_bytes=db)
+        tensor = np.arange(1, n_words + 1, dtype=np.float32)
+        for pack in ("pack_tensor", "pack_tensor_scalar"):
+            agg = Aggregator(reg)
+            payload = getattr(agg, pack)(tensor)
+            n_lines = -(-n_words // WORDS_PER_LINE)
+            assert payload.shape == (n_lines, WORDS_PER_LINE * db)
+            assert agg.lines_processed == n_lines
+            assert agg.payload_bytes_produced == agg.tensor_payload_bytes(
+                n_words
+            )
+            assert agg.payload_bytes_produced == n_words * db
+
+    def test_pack_tensor_accounting_accumulates(self):
+        """Sequential packs keep the padding-free sum, mixed shapes."""
+        agg = Aggregator(DBARegister(enabled=True, dirty_bytes=2))
+        agg.pack_tensor(np.zeros(17, dtype=np.float32))
+        agg.pack_tensor(np.zeros(32, dtype=np.float32))
+        agg.pack_tensor(np.zeros(3, dtype=np.float32))
+        assert agg.payload_bytes_produced == (17 + 32 + 3) * 2
+        assert agg.lines_processed == 2 + 2 + 1
+
 
 class TestDisaggregatorRoundTrip:
     @given(lines_arrays, st.integers(1, 4))

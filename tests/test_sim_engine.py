@@ -1,6 +1,8 @@
 """Tests for the discrete-event simulation kernel."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim import Process, Resource, SerialLink, Simulator, Store
 from repro.utils.units import Bandwidth
@@ -24,6 +26,66 @@ class TestEventsAndTimeouts:
             )
         sim.run()
         assert order == [0, 1, 2, 3, 4]
+
+    @given(
+        st.lists(
+            st.sampled_from([0.0, 1.0, 2.0]), min_size=1, max_size=40
+        ),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equal_timestamps_fire_in_push_order(self, delays, data):
+        """Property: events sharing a timestamp pop in scheduling order.
+
+        The heap entries carry a monotone ``seq`` tiebreaker, so the
+        engine must behave as a FIFO queue *within* each timestamp —
+        including events scheduled from inside callbacks of earlier
+        events at that same instant (delay-0 chains).  The model below
+        is literally a sorted-stable list of (fire_time, push_index).
+        """
+        sim = Simulator()
+        fired = []
+        expected = []  # (fire_time, push_index), push order
+        counter = [0]
+
+        def push(sim, delay):
+            label = counter[0]
+            counter[0] += 1
+            expected.append((sim.now + delay, label))
+            sim.timeout(delay, label).callbacks.append(
+                lambda e: on_fire(e.value)
+            )
+
+        def on_fire(label):
+            fired.append(label)
+            # Sometimes schedule more work from inside the callback: a
+            # delay-0 event lands at the *current* instant and must still
+            # queue behind everything already pending at this time.
+            if data.draw(st.booleans()) and counter[0] < 60:
+                push(sim, data.draw(st.sampled_from([0.0, 1.0])))
+
+        for d in delays:
+            push(sim, d)
+        sim.run()
+        expected.sort(key=lambda pair: pair[0])  # stable: seq order kept
+        assert fired == [label for _, label in expected]
+
+    def test_callback_scheduled_zero_delay_runs_after_pending(self):
+        """An event scheduled at t from a callback at t fires last."""
+        sim = Simulator()
+        order = []
+        late = []
+
+        def first(e):
+            order.append("first")
+            sim.timeout(0.0).callbacks.append(lambda e: late.append(len(order)))
+
+        sim.timeout(1.0).callbacks.append(first)
+        sim.timeout(1.0).callbacks.append(lambda e: order.append("second"))
+        sim.timeout(1.0).callbacks.append(lambda e: order.append("third"))
+        sim.run()
+        assert order == ["first", "second", "third"]
+        assert late == [3]  # fired only after all three pending callbacks
 
     def test_double_trigger_rejected(self):
         sim = Simulator()
