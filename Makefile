@@ -1,4 +1,4 @@
-.PHONY: install test verify-resume verify-resume-full bench bench-show bench-smoke report examples clean
+.PHONY: install test verify-resume verify-resume-full bench bench-show bench-smoke trace-smoke report examples clean
 
 install:
 	pip install -e '.[dev]' --no-build-isolation
@@ -29,6 +29,12 @@ bench-show:
 #   PYTHONPATH=src python benchmarks/bench_smoke.py --update-baseline
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_smoke.py
+
+# Observability smoke: profile a reduced fig10 run, export the Chrome
+# trace-event JSON, and validate its schema + required span categories
+# (CXL link, pending queue, trainer phases).
+trace-smoke:
+	PYTHONPATH=src python benchmarks/trace_smoke.py results/trace-smoke.json
 
 report:
 	python -m repro report --out results

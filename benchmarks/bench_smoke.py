@@ -38,11 +38,17 @@ BASELINE_PATH = HERE / "BENCH_baseline.json"
 REGRESSION_FACTOR = 2.0
 REPEATS = 5  # best-of-N wall time per op
 
+#: The observability layer must be free when disabled: the null-object
+#: default path of the instrumented simulation is gated at 3% of the
+#: committed baseline, not the loose 2x of the other ops.
+TRACER_OVERHEAD_FACTOR = 1.03
+TRACER_OVERHEAD_OP = "tracer_disabled_engine_steps"
 
-def _timed(fn, elements):
+
+def _timed(fn, elements, repeats=REPEATS):
     """Best-of-N seconds and derived elements/s throughput for ``fn``."""
     best = float("inf")
-    for _ in range(REPEATS):
+    for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
         best = min(best, time.perf_counter() - t0)
@@ -117,6 +123,28 @@ def op_headline_system_model():
     return _timed(run, 1)
 
 
+def op_tracer_disabled_steps():
+    """The instrumented DES hot path with observability OFF.
+
+    Every SerialLink transfer / queue op / engine step now tests
+    ``tracer.enabled`` on the shared null objects; this op gates that the
+    disabled path stays within :data:`TRACER_OVERHEAD_FACTOR` (3%) of the
+    committed baseline wall time.  Many best-of repeats over a batch of
+    steps keep the measurement tight enough for a 3% gate.
+    """
+    from repro.offload import TECOEngine
+
+    spec = evaluation_models()[0]
+    engine = TECOEngine(spec, 4)  # tracer/metrics default to the nulls
+    n_steps = 5
+
+    def run():
+        for _ in range(n_steps):
+            engine.simulate_step()
+
+    return _timed(run, n_steps, repeats=25)
+
+
 OPS = {
     "cache_access_block_64k": op_cache_access_block,
     "hierarchy_access_block_16k": op_hierarchy_access_block,
@@ -125,6 +153,7 @@ OPS = {
     "trace_replay_256k_events": op_trace_replay,
     "sweep_trace_64KiB_arena": op_sweep_trace,
     "headline_system_model": op_headline_system_model,
+    TRACER_OVERHEAD_OP: op_tracer_disabled_steps,
 }
 
 
@@ -155,16 +184,22 @@ def main(argv) -> int:
         if ref is None:
             print(f"NOTE: {name} not in baseline (new op) — skipped")
             continue
+        gate = (
+            TRACER_OVERHEAD_FACTOR
+            if name == TRACER_OVERHEAD_OP
+            else REGRESSION_FACTOR
+        )
         ratio = cur["seconds"] / ref["seconds"]
-        status = "OK" if ratio <= REGRESSION_FACTOR else "REGRESSED"
-        print(f"{name:32s} {ratio:5.2f}x baseline   {status}")
-        if ratio > REGRESSION_FACTOR:
-            failures.append((name, ratio))
+        status = "OK" if ratio <= gate else "REGRESSED"
+        print(f"{name:32s} {ratio:5.2f}x baseline (gate {gate}x)   {status}")
+        if ratio > gate:
+            failures.append((name, ratio, gate))
     if failures:
         print(
-            f"FAIL: {len(failures)} op(s) slower than "
-            f"{REGRESSION_FACTOR}x baseline: "
-            + ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)
+            f"FAIL: {len(failures)} op(s) over their gate: "
+            + ", ".join(
+                f"{n} ({r:.2f}x > {g}x)" for n, r, g in failures
+            )
         )
         return 1
     print("bench smoke gate passed")

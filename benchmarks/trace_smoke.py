@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Traced-run smoke check (``make trace-smoke``).
+
+Profiles a reduced Figure-10 run through :func:`repro.obs.trace_experiment`,
+exports the Chrome trace-event JSON, and fails (exit 1) unless the file
+
+* passes :func:`repro.obs.validate_chrome_trace` (required fields,
+  ``dur >= 0``, monotonic timestamps), and
+* contains spans from the CXL link (``link``), the controller's pending
+  queue (``queue``), and the trainer phases (``trainer``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trace_smoke.py [out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_CATEGORIES = {"link", "queue", "trainer"}
+
+
+def main(argv) -> int:
+    """Run the traced fig10 smoke and validate the exported JSON."""
+    from repro.obs import trace_experiment, validate_chrome_trace
+
+    out = Path(argv[0]) if argv else Path("results") / "trace-smoke.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    profile = trace_experiment("fig10", out=out, steps=6)
+    obj = json.loads(out.read_text())
+    errors = validate_chrome_trace(obj)
+    categories = {c for e in obj["traceEvents"] if (c := e.get("cat"))}
+    missing = REQUIRED_CATEGORIES - categories
+    n_events = len(obj["traceEvents"])
+    print(f"wrote {out}: {n_events} events, categories {sorted(categories)}")
+    if errors:
+        print(f"FAIL: {len(errors)} schema error(s); first: {errors[0]}")
+        return 1
+    if missing:
+        print(f"FAIL: required categories missing from trace: {sorted(missing)}")
+        return 1
+    if profile.metrics.value("trainer.steps") <= 0:
+        print("FAIL: no trainer steps recorded in metrics")
+        return 1
+    print("trace smoke gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

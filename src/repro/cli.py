@@ -9,6 +9,7 @@ Usage::
     python -m repro checkpoint --ckpt run.ckpt --steps 40
     python -m repro resume --ckpt run.ckpt --steps 40
     python -m repro verify-resume    # bit-exact resume-equivalence suite
+    python -m repro trace fig10 --out trace.json   # Chrome/Perfetto trace
 """
 
 from __future__ import annotations
@@ -286,6 +287,27 @@ def _run_verify_resume(args) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def _run_trace(args) -> int:
+    """``repro trace``: profiled reduced run -> Chrome trace-event JSON."""
+    import os
+
+    from repro.obs import trace_experiment
+
+    target = args.target or "fig10"
+    out = args.out
+    if not out.endswith(".json"):
+        out = os.path.join(out, "trace.json")
+    if os.path.dirname(out):
+        os.makedirs(os.path.dirname(out), exist_ok=True)
+    profile = trace_experiment(target, out=out, steps=args.trace_steps)
+    print(profile.summary())
+    print(
+        f"\nwrote {out} ({len(profile.tracer)} spans/instants) — open it "
+        "at https://ui.perfetto.dev or chrome://tracing"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -302,16 +324,32 @@ def main(argv: list[str] | None = None) -> int:
             "checkpoint",
             "resume",
             "verify-resume",
+            "trace",
         ],
         help=(
             "experiment id (or 'all' / 'list' / 'report' / 'checkpoint' / "
-            "'resume' / 'verify-resume')"
+            "'resume' / 'verify-resume' / 'trace')"
         ),
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="experiment to profile for 'trace' (fig10 or fig13)",
     )
     parser.add_argument(
         "--out",
         default="results",
-        help="output directory for 'report' (default: results/)",
+        help=(
+            "output directory for 'report', or trace-JSON path for "
+            "'trace' (a *.json path is a file, anything else a directory)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-steps",
+        type=int,
+        default=24,
+        help="fine-tuning steps for the 'trace' reduced run",
     )
     parser.add_argument(
         "--ckpt",
@@ -376,6 +414,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_resume(args)
     if args.experiment == "verify-resume":
         return _run_verify_resume(args)
+    if args.experiment == "trace":
+        return _run_trace(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for i, name in enumerate(names):
         if i:

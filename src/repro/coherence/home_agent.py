@@ -67,6 +67,9 @@ class TrafficStats:
     #: Data transfers that landed on the consumer's critical path
     #: (invalidation-mode on-demand fetches).
     on_demand_fetches: int = 0
+    #: Optional :class:`repro.obs.Metrics` mirror — every recorded message
+    #: also bumps ``coherence.msg.<NAME>`` / byte counters there.
+    metrics: object = field(default=None, repr=False, compare=False)
 
     def record(self, msg: MessageType, payload_bytes: int = 0) -> None:
         """Count one message and its wire bytes."""
@@ -76,6 +79,13 @@ class TrafficStats:
             self.data_bytes += wire
         else:
             self.control_bytes += wire
+        mx = self.metrics
+        if mx is not None and mx.enabled:
+            mx.counter(f"coherence.msg.{msg.name}").inc()
+            if payload_bytes:
+                mx.counter("coherence.data_bytes").inc(wire)
+            else:
+                mx.counter("coherence.control_bytes").inc(wire)
 
     @property
     def total_bytes(self) -> int:
@@ -95,12 +105,13 @@ class HomeAgent:
         address_map: AddressMap,
         mode: CoherenceMode = CoherenceMode.UPDATE,
         snoop_filter: SnoopFilter | None = None,
+        metrics=None,
     ):
         self.address_map = address_map
         self.mode = mode
         self.cpu = PeerCache("cpu")
         self.device = PeerCache("giant-cache")
-        self.stats = TrafficStats()
+        self.stats = TrafficStats(metrics=metrics)
         if mode is CoherenceMode.INVALIDATION and snoop_filter is None:
             snoop_filter = SnoopFilter()
         self.snoop_filter = snoop_filter

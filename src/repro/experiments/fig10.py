@@ -61,6 +61,7 @@ def _compare(
     checkpoint_dir=None,
     checkpoint_every: int | None = None,
     tag: str = "fig10",
+    profile=None,
 ) -> Fig10Result:
     def ckpt(name: str):
         if checkpoint_dir is None:
@@ -74,6 +75,7 @@ def _compare(
         seed=seed + 1,
         checkpoint_path=ckpt("baseline"),
         checkpoint_every=checkpoint_every,
+        profile=profile,
     )
     teco = finetune(
         setup,
@@ -83,6 +85,7 @@ def _compare(
         policy=ActivationPolicy(act_aft_steps=act_aft_steps, dirty_bytes=2),
         checkpoint_path=ckpt("teco"),
         checkpoint_every=checkpoint_every,
+        profile=profile,
     )
     return Fig10Result(
         baseline_curve=baseline.loss_curve,
@@ -98,12 +101,15 @@ def run_fig10(
     lr: float = 5e-4,
     checkpoint_dir=None,
     checkpoint_every: int | None = None,
+    profile=None,
 ) -> Fig10Result:
     """The GPT-2 panel: decoder-proxy fine-tuning loss curves.
 
     Pass ``checkpoint_dir`` (and optionally ``checkpoint_every``) to make
     the two fine-tuning runs interruptible: killed sweeps resume
     bit-exactly from their last checkpoint on the next invocation.
+    ``profile`` (a :class:`repro.obs.Profile`) records per-step phase
+    spans and payload metrics from both fine-tuning runs.
     """
     setup = pretrained_lm(seed=seed, finetune_batches=n_steps)
     return _compare(
@@ -114,6 +120,7 @@ def run_fig10(
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
         tag="fig10-gpt2",
+        profile=profile,
     )
 
 
@@ -124,6 +131,7 @@ def run_fig10_albert(
     lr: float = 5e-4,
     checkpoint_dir=None,
     checkpoint_every: int | None = None,
+    profile=None,
 ) -> Fig10Result:
     """The Albert panel: shared-layer encoder fine-tuning loss curves."""
     setup = pretrained_classifier(seed=seed, finetune_batches=n_steps)
@@ -135,4 +143,5 @@ def run_fig10_albert(
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
         tag="fig10-albert",
+        profile=profile,
     )

@@ -182,6 +182,7 @@ def finetune(
     policy=None,
     checkpoint_path: str | os.PathLike | None = None,
     checkpoint_every: int | None = None,
+    profile=None,
 ) -> OffloadTrainer:
     """Fine-tune a fresh copy of the setup's checkpoint under ``mode``.
 
@@ -190,9 +191,20 @@ def finetune(
     batches are skipped), and with ``checkpoint_every`` the trainer
     re-checkpoints every that-many steps.  Long Figure-10/13 sweeps can
     then be killed and relaunched without redoing finished work.
+
+    ``profile`` (a :class:`repro.obs.Profile`) attaches the observability
+    layer to the fine-tuning trainer: per-step phase spans and payload
+    metrics are recorded without changing the computation.
     """
     model = setup.fresh_model(make_rng(seed))
-    trainer = OffloadTrainer(model, mode=mode, lr=lr, policy=policy)
+    trainer = OffloadTrainer(
+        model,
+        mode=mode,
+        lr=lr,
+        policy=policy,
+        tracer=None if profile is None else profile.tracer,
+        metrics=None if profile is None else profile.metrics,
+    )
     batches = setup.train_batches
     start = 0
     if checkpoint_path is not None and os.path.exists(checkpoint_path):

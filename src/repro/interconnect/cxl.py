@@ -15,6 +15,7 @@ delivered.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.interconnect.packets import (
@@ -116,12 +117,20 @@ class CXLController:
             latency=self.model.latency,
             name=f"{name}-wire",
         )
-        self._queue: Store = Store(sim, capacity=queue_depth)
+        self._queue: Store = Store(
+            sim, capacity=queue_depth, name=f"{name}-pending"
+        )
         self._outstanding = 0
         self._fence_waiters: list[SimEvent] = []
         self.lines_delivered = 0
         self.payload_bytes_delivered = 0
-        self.last_delivery_time = 0.0
+        #: Simulated time of the most recent delivery, or ``None`` before
+        #: the first one (0.0 would be indistinguishable from a real
+        #: delivery at t=0).
+        self.last_delivery_time: float | None = None
+        #: Enqueue timestamps for pending-queue residency spans (FIFO,
+        #: tracer-enabled runs only).
+        self._enqueue_times: deque[float] = deque()
         sim.process(self._drain(), name=f"{name}-drain")
 
     # -- producer side ----------------------------------------------------
@@ -129,6 +138,11 @@ class CXLController:
         """Enqueue one cache line; the returned event fires on *acceptance*
         into the pending queue (back-pressure point), not delivery."""
         self._outstanding += 1
+        if self.sim.tracer.enabled:
+            self._enqueue_times.append(self.sim.now)
+        mx = self.sim.metrics
+        if mx.enabled:
+            mx.sample(f"{self.name}.outstanding", self.sim.now, self._outstanding)
         return self._queue.put(payload)
 
     def send_lines(self, payloads: list[CacheLinePayload]):
@@ -139,6 +153,14 @@ class CXLController:
     def fence(self) -> SimEvent:
         """``CXLFENCE()``: fires when all in-flight traffic is delivered."""
         ev = self.sim.event()
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                self.sim.now,
+                "fence",
+                "cxl",
+                track=self.name,
+                outstanding=self._outstanding,
+            )
         if self._outstanding == 0:
             ev.succeed(self.sim.now)
         else:
@@ -149,14 +171,30 @@ class CXLController:
     def _drain(self):
         while True:
             payload: CacheLinePayload = yield self._queue.get()
+            tracer = self.sim.tracer
+            if tracer.enabled and self._enqueue_times:
+                tracer.add_span(
+                    self._enqueue_times.popleft(),
+                    self.sim.now,
+                    "pending",
+                    "queue",
+                    track=self._queue.name,
+                    addr=payload.address,
+                )
             wire = packet_wire_bytes(payload.size_bytes)
             delivery = self.link.transmit(wire, extra_delay=self.per_line_delay)
             delivery.callbacks.append(
                 lambda _ev, p=payload: self._on_delivered(p)
             )
             # Lines pipeline: the next line may enter the wire as soon as
-            # this one leaves it; propagation latency overlaps.
-            gap = self.link.free_at - self.sim.now
+            # this one leaves it; propagation latency overlaps.  The
+            # per-line front-end (Aggregator) is itself pipelined, so its
+            # delay is exposed only at the head of a stream: pop the next
+            # line ``per_line_delay`` *before* the wire frees, and its
+            # ``now + delay`` start lands exactly when the wire is idle.
+            # (Waiting the full gap would re-expose the delay per line and
+            # serialize an N-line stream to N * (delay + wire).)
+            gap = self.link.free_at - self.sim.now - self.per_line_delay
             if gap > 0:
                 yield self.sim.timeout(gap)
 
@@ -165,8 +203,17 @@ class CXLController:
         self.payload_bytes_delivered += payload.size_bytes
         self.last_delivery_time = self.sim.now
         self._outstanding -= 1
+        mx = self.sim.metrics
+        if mx.enabled:
+            mx.counter(f"{self.name}.lines_delivered").inc()
+            mx.counter(f"{self.name}.payload_bytes").inc(payload.size_bytes)
+            mx.sample(f"{self.name}.outstanding", self.sim.now, self._outstanding)
         if self._outstanding == 0 and self._fence_waiters:
             waiters, self._fence_waiters = self._fence_waiters, []
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    self.sim.now, "fence-release", "cxl", track=self.name
+                )
             for w in waiters:
                 w.succeed(self.sim.now)
 

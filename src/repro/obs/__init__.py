@@ -1,0 +1,48 @@
+"""Sim-time observability: spans, counters, and Chrome-trace export.
+
+The layer has two halves — the event half (:class:`Tracer`: named spans
+and instants keyed by simulated or wall time, exported as Chrome
+trace-event JSON loadable in Perfetto) and the quantitative half
+(:class:`Metrics`: counters, gauges, and sampled time series).  Both are
+opt-in: every instrumented component defaults to the null objects
+:data:`NULL_TRACER` / :data:`NULL_METRICS`, whose ``enabled`` flag keeps
+the un-profiled hot path down to a single attribute test.
+
+:class:`Profile` bundles a live tracer+metrics pair, and
+:func:`trace_experiment` runs a (reduced) paper experiment under one and
+writes the combined Chrome trace — the engine behind
+``python -m repro trace fig10 --out trace.json``.
+"""
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Metrics,
+    NullMetrics,
+)
+from repro.obs.profile import Profile, trace_experiment
+from repro.obs.tracer import (
+    NULL_TRACER,
+    InstantRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "InstantRecord",
+    "validate_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Profile",
+    "trace_experiment",
+]

@@ -1,0 +1,185 @@
+"""Counter/gauge registry with time-series sampling.
+
+:class:`Metrics` is the quantitative half of the observability layer
+(:mod:`repro.obs`): monotonically increasing :class:`Counter`\\ s
+(bytes on the wire, lines delivered, coherence messages, DBA bytes
+saved), last-value :class:`Gauge`\\ s, and named time series sampled at
+explicit timestamps (link utilization, pending-queue depth, outstanding
+lines).  Series feed the Chrome-trace exporter as counter tracks and
+the plain-text :meth:`Metrics.summary`.
+
+Like the tracer, the disabled path is a null object
+(:data:`NULL_METRICS`): instruments test ``metrics.enabled`` before
+doing any work, so the un-profiled hot path pays one attribute test.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        """Add ``n`` (must be non-negative) to the counter."""
+        if n < 0:
+            raise ValueError("counters only increase")
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins instantaneous measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Metrics:
+    """Registry of counters, gauges and sampled time series."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._series: dict[str, list[tuple[float, float]]] = {}
+
+    # -- registry ----------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def sample(self, name: str, ts: float, value: float) -> None:
+        """Append ``(ts, value)`` to the time series ``name``."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = []
+        series.append((ts, value))
+
+    # -- queries -----------------------------------------------------------
+    def series(self, name: str) -> list[tuple[float, float]]:
+        """The sampled ``(ts, value)`` pairs of one series."""
+        return list(self._series.get(name, []))
+
+    def all_series(self) -> dict[str, list[tuple[float, float]]]:
+        """Every sampled series, by name."""
+        return dict(self._series)
+
+    def counters(self) -> dict[str, int | float]:
+        """Counter values, by name."""
+        return {k: c.value for k, c in self._counters.items()}
+
+    def gauges(self) -> dict[str, float]:
+        """Gauge values, by name."""
+        return {k: g.value for k, g in self._gauges.items()}
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Counter or gauge value under ``name`` (``default`` if absent)."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        return default
+
+    def summary(self) -> str:
+        """Plain-text dump: counters, gauges, and series extents."""
+        from repro.utils.tables import format_table
+
+        rows: list[tuple[str, str, str]] = []
+        for name in sorted(self._counters):
+            rows.append(("counter", name, f"{self._counters[name].value:g}"))
+        for name in sorted(self._gauges):
+            rows.append(("gauge", name, f"{self._gauges[name].value:g}"))
+        for name in sorted(self._series):
+            s = self._series[name]
+            last = s[-1][1] if s else float("nan")
+            rows.append(
+                ("series", name, f"{len(s)} samples, last {last:g}")
+            )
+        return format_table(
+            ["kind", "metric", "value"],
+            rows,
+            title="metrics summary",
+        )
+
+
+class NullMetrics:
+    """Disabled metrics registry: all operations are no-ops.
+
+    The shared :class:`Counter`/:class:`Gauge` it hands out are real
+    objects (so ``.inc()``/``.set()`` never fail) but are shared and
+    never read — instruments should test ``enabled`` first anyway.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self._sink_counter = Counter("null")
+        self._sink_gauge = Gauge("null")
+
+    def counter(self, name: str) -> Counter:
+        """A shared throw-away counter."""
+        return self._sink_counter
+
+    def gauge(self, name: str) -> Gauge:
+        """A shared throw-away gauge."""
+        return self._sink_gauge
+
+    def sample(self, name: str, ts: float, value: float) -> None:
+        """No-op."""
+
+    def series(self, name: str) -> list[tuple[float, float]]:
+        """Always empty."""
+        return []
+
+    def all_series(self) -> dict[str, Any]:
+        """Always empty."""
+        return {}
+
+    def counters(self) -> dict[str, Any]:
+        """Always empty."""
+        return {}
+
+    def gauges(self) -> dict[str, Any]:
+        """Always empty."""
+        return {}
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Always ``default``."""
+        return default
+
+
+#: Shared disabled-metrics instance.
+NULL_METRICS = NullMetrics()

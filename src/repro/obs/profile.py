@@ -1,0 +1,177 @@
+"""Profiled experiment runs: one tracer+metrics pair, one Chrome trace.
+
+:class:`Profile` bundles a live :class:`~repro.obs.tracer.Tracer` and
+:class:`~repro.obs.metrics.Metrics` so an experiment can be handed a
+single object; :func:`trace_experiment` runs a reduced paper experiment
+under a fresh profile and exports the combined trace.
+
+Two timelines land in one file, under separate Chrome processes:
+
+* ``host`` — the functional trainer's phases (forward/backward/clip/
+  ADAM/transfers), stamped with wall-clock seconds;
+* ``sim`` — a discrete-event :class:`~repro.interconnect.cxl.CXLController`
+  replaying the step's actual write-back payload over the emulated CXL
+  link (wire spans, pending-queue residency, fence instants), stamped
+  with virtual seconds;
+* ``metrics`` — counter tracks sampled by either side.
+
+The experiment imports happen inside the functions on purpose:
+``repro.obs`` is imported by the simulation core and must stay cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import Tracer
+
+__all__ = ["Profile", "trace_experiment", "TRACEABLE"]
+
+#: Cap on simulated cache lines per stream (keeps traces viewer-sized).
+MAX_STREAM_LINES = 1024
+
+
+@dataclass
+class Profile:
+    """A live tracer+metrics pair to thread through an experiment."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: Metrics = field(default_factory=Metrics)
+
+    @classmethod
+    def new(cls, default_pid: str = "sim") -> "Profile":
+        """A fresh profile whose tracer defaults events to ``default_pid``."""
+        return cls(tracer=Tracer(default_pid=default_pid), metrics=Metrics())
+
+    def chrome_trace(self) -> dict:
+        """The combined Chrome trace object (spans + counter tracks)."""
+        return self.tracer.chrome_trace(metrics=self.metrics)
+
+    def write_chrome(self, path) -> None:
+        """Write the combined Chrome trace JSON to ``path``."""
+        self.tracer.write_chrome(path, metrics=self.metrics)
+
+    def summary(self) -> str:
+        """Plain-text roll-up: trace categories plus the metrics table."""
+        return self.tracer.summary() + "\n\n" + self.metrics.summary()
+
+
+def _trace_cxl_stream(
+    profile: Profile,
+    payload_bytes: float,
+    dirty_bytes: int = 2,
+    per_line_delay: float = 1e-9,
+    name: str = "cxl",
+) -> None:
+    """Replay one write-back stream through a traced :class:`CXLController`.
+
+    The functional trainer never touches the discrete-event CXL model, so
+    the profile replays the step's measured payload volume through a real
+    controller (pending queue, serial wire, 1 ns Aggregator delay) to get
+    the link/queue timeline the paper reasons about.  Line count is capped
+    at :data:`MAX_STREAM_LINES`; back-pressure against the 128-entry
+    pending queue shows up as ``put-blocked`` instants.
+    """
+    from repro.interconnect.cxl import CXLController
+    from repro.interconnect.packets import CACHE_LINE_BYTES, CacheLinePayload
+    from repro.sim import Simulator
+
+    sim = Simulator(tracer=profile.tracer, metrics=profile.metrics)
+    ctrl = CXLController(
+        sim, per_line_delay=per_line_delay, name=name
+    )
+    line_payload = CACHE_LINE_BYTES * dirty_bytes // 4
+    n_lines = max(1, math.ceil(payload_bytes / line_payload))
+    if n_lines > MAX_STREAM_LINES:
+        n_lines = MAX_STREAM_LINES
+    payloads = [
+        CacheLinePayload(address=i * CACHE_LINE_BYTES, dirty_bytes=dirty_bytes)
+        for i in range(n_lines)
+    ]
+
+    def producer():
+        """Enqueue the stream with back-pressure, then fence."""
+        yield from ctrl.send_lines(payloads)
+        yield ctrl.fence()
+
+    sim.process(producer(), name=f"{name}-producer")
+    sim.run()
+
+
+def _trace_fig10(profile: Profile, steps: int, seed: int):
+    """Reduced Figure-10 run (both loss curves) under ``profile``."""
+    from repro.experiments.fig10 import run_fig10
+
+    return run_fig10(
+        n_steps=steps,
+        act_aft_steps=max(1, steps // 3),
+        seed=seed,
+        profile=profile,
+    )
+
+
+def _trace_fig13(profile: Profile, steps: int, seed: int):
+    """Reduced Figure-13 sweep (three activation points) under ``profile``."""
+    from repro.experiments.fig13 import run_fig13
+
+    return run_fig13(
+        sweep=(0, max(1, steps // 2), steps),
+        total_steps=steps,
+        seed=seed,
+        profile=profile,
+    )
+
+
+#: Experiment id -> profiled runner (reduced-scale, profile-threaded).
+TRACEABLE = {
+    "fig10": _trace_fig10,
+    "fig13": _trace_fig13,
+}
+
+
+def trace_experiment(
+    name: str,
+    out=None,
+    steps: int = 24,
+    seed: int = 0,
+) -> Profile:
+    """Run a reduced experiment under a fresh profile; return the profile.
+
+    Parameters
+    ----------
+    name
+        ``"fig10"`` or ``"fig13"`` (see :data:`TRACEABLE`).
+    out
+        Optional path: write the combined Chrome trace JSON there.
+    steps
+        Fine-tuning steps for the reduced run.
+    seed
+        Experiment seed.
+
+    After the functional run, the step's gradient and parameter payload
+    volumes (from the trainer's metrics) are replayed through a traced
+    :class:`~repro.interconnect.cxl.CXLController`, so the exported trace
+    carries CXL wire spans and pending-queue residency alongside the
+    trainer phases.
+    """
+    runner = TRACEABLE.get(name)
+    if runner is None:
+        raise ValueError(
+            f"no traceable experiment {name!r}; choose from "
+            f"{sorted(TRACEABLE)}"
+        )
+    if steps < 3:
+        raise ValueError("steps must be >= 3")
+    profile = Profile.new()
+    runner(profile, steps, seed)
+    grad_series = profile.metrics.series("trainer.grad_payload_bytes")
+    param_series = profile.metrics.series("trainer.param_payload_bytes")
+    grad_bytes = grad_series[-1][1] if grad_series else 4096.0
+    param_bytes = param_series[-1][1] if param_series else 4096.0
+    _trace_cxl_stream(profile, grad_bytes, dirty_bytes=4, name="cxl-grads")
+    _trace_cxl_stream(profile, param_bytes, dirty_bytes=2, name="cxl-params")
+    if out is not None:
+        profile.write_chrome(out)
+    return profile

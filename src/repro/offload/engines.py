@@ -71,6 +71,39 @@ class SystemKind(enum.Enum):
     TECO_REDUCTION = "teco-reduction"
 
 
+def _trace_phase_marks(sim: Simulator, marks: dict, system: str) -> None:
+    """Emit trainer-phase spans from a finished step's time marks.
+
+    Runs once after ``sim.run()`` (zero in-loop overhead): GPU phases on
+    the ``gpu`` track, CPU phases on ``cpu``, exposed transfer windows on
+    ``transfer`` — all category ``trainer``, on the sim timeline.  The
+    per-transfer wire spans come live from the instrumented
+    :class:`~repro.sim.SerialLink`.
+    """
+    tracer = sim.tracer
+    if not tracer.enabled:
+        return
+    phases = (
+        ("forward", "gpu", None, "fwd_end"),
+        ("backward", "gpu", "fwd_end", "bwd_end"),
+        ("grad-transfer-exposed", "transfer", "bwd_end", "grads_on_cpu"),
+        ("clip", "cpu", "grads_on_cpu", "clip_end"),
+        ("adam", "cpu", "clip_end", "adam_end"),
+        ("param-transfer-exposed", "transfer", "adam_end", "params_on_gpu"),
+    )
+    for name, track, a, b in phases:
+        begin = 0.0 if a is None else marks.get(a)
+        end = marks.get(b)
+        if begin is None or end is None:
+            continue
+        tracer.add_span(begin, end, name, "trainer", track=track, system=system)
+    end = marks.get("params_on_gpu")
+    if end is not None:
+        tracer.add_span(
+            0.0, end, "step", "trainer", track="step", system=system
+        )
+
+
 @dataclass(frozen=True)
 class _Phases:
     """Pre-computed phase durations shared by both engines."""
@@ -99,6 +132,8 @@ class ZeROOffloadEngine:
         batch: int,
         hw: HardwareParams | None = None,
         dpu: bool = False,
+        tracer=None,
+        metrics=None,
     ):
         if batch <= 0:
             raise ValueError("batch must be positive")
@@ -106,11 +141,13 @@ class ZeROOffloadEngine:
         self.batch = batch
         self.hw = hw or HardwareParams.paper_default()
         self.dpu = dpu
+        self.tracer = tracer
+        self.metrics = metrics
 
     def simulate_step(self) -> StepBreakdown:
         """Simulate one baseline training step."""
         spec, hw = self.spec, self.hw
-        sim = Simulator()
+        sim = Simulator(tracer=self.tracer, metrics=self.metrics)
         link = SerialLink(sim, hw.pcie.effective_bandwidth, name="pcie")
         phases = _Phases.of(spec, self.batch, hw)
         marks: dict[str, float] = {}
@@ -167,6 +204,7 @@ class ZeROOffloadEngine:
 
         sim.process(step(sim))
         sim.run()
+        _trace_phase_marks(sim, marks, system="zero-offload")
 
         # The synchronous flush stalls are gradient-transfer time exposed
         # to the critical path even though they occur inside backward.
@@ -211,6 +249,8 @@ class TECOEngine:
         dba: bool = False,
         dirty_bytes: int = 2,
         coherence: CoherenceMode = CoherenceMode.UPDATE,
+        tracer=None,
+        metrics=None,
     ):
         if batch <= 0:
             raise ValueError("batch must be positive")
@@ -222,11 +262,13 @@ class TECOEngine:
         self.dba = dba
         self.dirty_bytes = dirty_bytes if dba else 4
         self.coherence = coherence
+        self.tracer = tracer
+        self.metrics = metrics
 
     def simulate_step(self) -> StepBreakdown:
         """Simulate one TECO training step."""
         spec, hw = self.spec, self.hw
-        sim = Simulator()
+        sim = Simulator(tracer=self.tracer, metrics=self.metrics)
         # CXL is full duplex per direction over the same PHY; gradients and
         # parameters never stream simultaneously within a step, so one
         # serialized wire models the shared bandwidth faithfully.
@@ -290,6 +332,11 @@ class TECOEngine:
 
         sim.process(step(sim))
         sim.run()
+        _trace_phase_marks(
+            sim,
+            marks,
+            system="teco-reduction" if self.dba else "teco-cxl",
+        )
 
         return StepBreakdown(
             forward=phases.forward,

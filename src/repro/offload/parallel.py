@@ -30,6 +30,7 @@ from repro.offload.engines import (
     STREAM_CHUNKS,
     SystemKind,
     _cxl_wire_volume,
+    _trace_phase_marks,
 )
 from repro.offload.timing import HardwareParams
 from repro.sim import SerialLink, Simulator
@@ -88,8 +89,12 @@ class DataParallelEngine:
         cluster: ClusterParams | None = None,
         hw: HardwareParams | None = None,
         dirty_bytes: int = 2,
+        tracer=None,
+        metrics=None,
     ):
         self.kind = kind
+        self.tracer = tracer
+        self.metrics = metrics
         self.spec = spec
         self.cluster = cluster or ClusterParams()
         if global_batch < self.cluster.n_gpus:
@@ -119,7 +124,7 @@ class DataParallelEngine:
         reduce_scatter = self.cluster.ring_time(shard_bytes)
         all_gather = self.cluster.ring_time(spec.param_bytes / n)
 
-        sim = Simulator()
+        sim = Simulator(tracer=self.tracer, metrics=self.metrics)
         if self.kind is SystemKind.ZERO_OFFLOAD:
             link_bw = hw.pcie.effective_bandwidth
         else:
@@ -184,6 +189,9 @@ class DataParallelEngine:
 
         sim.process(step(sim))
         sim.run()
+        _trace_phase_marks(
+            sim, marks, system=f"{self.kind.value} x{n}"
+        )
         return StepBreakdown(
             forward=fwd,
             backward=marks["bwd_end"] - marks["fwd_end"],

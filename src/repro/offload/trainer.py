@@ -129,7 +129,11 @@ class OffloadTrainer:
         loss_scaler: LossScaler | None = None,
         accumulation_steps: int = 1,
         lr_schedule=None,
+        tracer=None,
+        metrics=None,
     ):
+        from repro.obs import NULL_METRICS, NULL_TRACER
+
         if accumulation_steps < 1:
             raise ValueError("accumulation_steps must be >= 1")
         self.model = model
@@ -162,6 +166,12 @@ class OffloadTrainer:
         self._micro_step = 0
         #: Optional per-step learning-rate schedule (repro.optim.schedule).
         self.lr_schedule = lr_schedule
+        #: Observability hooks (repro.obs); null objects by default, so
+        #: the un-profiled step pays one ``enabled`` test per phase.
+        #: Trainer phases are wall-clock spans under the ``host`` pid
+        #: (this is a functional NumPy loop, not a timing simulation).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def _dba_active_now(self) -> bool:
         """Whether DBA applies to transfers right now.
@@ -176,6 +186,8 @@ class OffloadTrainer:
     # -- the five phases -----------------------------------------------------
     def step(self, *batch) -> StepResult:
         """Run one full training step on ``batch``."""
+        wall = self.tracer.wall_ts if self.tracer.enabled else None
+        marks = {"t0": wall()} if wall else {}
         # Phase 1-2: GPU computes against its device copy.  In mixed
         # precision the GPU converts the FP32 copy to FP16 before compute
         # (modelled by rounding the compute copy through FP16).
@@ -185,12 +197,18 @@ class OffloadTrainer:
             self.arena.push_params(self.gpu_params)
         self.model.zero_grad()
         loss = self.model.loss(*batch)
+        if wall:
+            marks["fwd"] = wall()
         loss.backward()
+        if wall:
+            marks["bwd"] = wall()
 
         # Phase 3: gradients to CPU (always full precision — Section V:
         # "gradients ... cannot apply DBA").
         self.arena.collect_grads()
         grad_payload = self.arena.grads.nbytes
+        if wall:
+            marks["grad"] = wall()
 
         # Gradient accumulation: only the K-th micro-step runs the CPU
         # phases; earlier ones just bank their gradients.
@@ -210,6 +228,7 @@ class OffloadTrainer:
                 self.volume.grad_bytes += grad_payload
                 self.history.append(result)
                 self.step_count += 1
+                self._observe_step(marks, result)
                 return result
             self.arena.grads[...] = self._accum / np.float32(
                 self.accumulation_steps
@@ -241,14 +260,19 @@ class OffloadTrainer:
                 self.volume.grad_bytes += grad_payload
                 self.history.append(result)
                 self.step_count += 1
+                self._observe_step(marks, result)
                 return result
             self.arena.grads[...] = scaled / np.float32(self.loss_scaler.scale)
 
         # Phase 4: clip on CPU.
         grad_norm = clip_flat_gradients(self.arena.grads, self.max_grad_norm)
+        if wall:
+            marks["clip"] = wall()
 
         # Phase 5: ADAM over the CPU master copy.
         self.optimizer.step(self.arena.params, self.arena.grads)
+        if wall:
+            marks["adam"] = wall()
 
         # Listing 1: check_activation(i) after backward, before transfer.
         dba_active = (
@@ -287,7 +311,58 @@ class OffloadTrainer:
         )
         self.history.append(result)
         self.step_count += 1
+        if wall:
+            marks["xfer"] = wall()
+        self._observe_step(marks, result)
         return result
+
+    def _observe_step(self, marks: dict, result: StepResult) -> None:
+        """Feed one step into the observability hooks (if any).
+
+        Wall-clock phase spans land under the ``host`` pid with category
+        ``trainer``; metrics record per-step payload/loss series and the
+        cumulative DBA savings counter.  Early-exit steps (accumulation
+        banking, overflow skips) only carry the phases they actually ran.
+        """
+        tracer = self.tracer
+        if tracer.enabled and marks:
+            phases = (
+                ("forward", "t0", "fwd"),
+                ("backward", "fwd", "bwd"),
+                ("grad-transfer", "bwd", "grad"),
+                ("clip", "grad", "clip"),
+                ("adam", "clip", "adam"),
+                ("param-transfer", "adam", "xfer"),
+            )
+            last = marks["t0"]
+            for name, a, b in phases:
+                if a in marks and b in marks:
+                    tracer.add_span(
+                        marks[a], marks[b], name, "trainer",
+                        track="trainer", pid="host",
+                    )
+                    last = marks[b]
+            tracer.add_span(
+                marks["t0"], last, "step", "trainer",
+                track="step", pid="host",
+                step=result.step, loss=result.loss, mode=self.mode.value,
+                dba_active=result.dba_active, skipped=result.skipped,
+            )
+        metrics = self.metrics
+        if metrics.enabled:
+            ts = marks.get("t0", float(result.step))
+            metrics.counter("trainer.steps").inc()
+            metrics.sample("trainer.loss", ts, result.loss)
+            metrics.sample(
+                "trainer.param_payload_bytes", ts, result.param_payload_bytes
+            )
+            metrics.sample(
+                "trainer.grad_payload_bytes", ts, result.grad_payload_bytes
+            )
+            if result.dba_active and result.param_payload_bytes:
+                saved = self.arena.params.nbytes - result.param_payload_bytes
+                if saved > 0:
+                    metrics.counter("dba.bytes_saved").inc(saved)
 
     def train(self, batches) -> list[StepResult]:
         """Run one step per batch; batches are tuples of loss() args."""

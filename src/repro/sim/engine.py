@@ -173,12 +173,22 @@ class Process(SimEvent):
 
 
 class Simulator:
-    """The event loop.  Time is a float in seconds, starting at 0."""
+    """The event loop.  Time is a float in seconds, starting at 0.
 
-    def __init__(self) -> None:
+    ``tracer`` / ``metrics`` attach the :mod:`repro.obs` observability
+    layer; they default to the shared null objects, so an un-profiled
+    simulation pays nothing for the hooks (instrumented components test
+    ``sim.tracer.enabled`` / ``sim.metrics.enabled`` before recording).
+    """
+
+    def __init__(self, tracer=None, metrics=None) -> None:
+        from repro.obs import NULL_METRICS, NULL_TRACER
+
         self.now: float = 0.0
         self._heap: list[tuple[float, int, SimEvent]] = []
         self._seq = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     # -- scheduling ------------------------------------------------------
     def _push(self, delay: float, event: SimEvent) -> None:

@@ -25,13 +25,19 @@ class Resource:
     ``release()`` hands the slot to the next waiter.
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1):
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource"):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
+        self.name = name
         self.in_use = 0
         self._waiters: deque[SimEvent] = deque()
+
+    def _sample(self) -> None:
+        mx = self.sim.metrics
+        if mx.enabled:
+            mx.sample(f"{self.name}.in_use", self.sim.now, self.in_use)
 
     def request(self) -> SimEvent:
         """Request a slot; the event fires when granted."""
@@ -39,8 +45,13 @@ class Resource:
         if self.in_use < self.capacity:
             self.in_use += 1
             ev.succeed(self)
+            self._sample()
         else:
             self._waiters.append(ev)
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    self.sim.now, "request-blocked", "resource", track=self.name
+                )
         return ev
 
     def release(self) -> None:
@@ -51,6 +62,7 @@ class Resource:
             self._waiters.popleft().succeed(self)
         else:
             self.in_use -= 1
+            self._sample()
 
 
 class Store:
@@ -61,14 +73,22 @@ class Store:
     full, which is how queue back-pressure reaches the CPU pipeline.
     """
 
-    def __init__(self, sim: Simulator, capacity: int | None = None):
+    def __init__(
+        self, sim: Simulator, capacity: int | None = None, name: str = "store"
+    ):
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 or None")
         self.sim = sim
         self.capacity = capacity
+        self.name = name
         self.items: deque[Any] = deque()
         self._getters: deque[SimEvent] = deque()
         self._putters: deque[tuple[SimEvent, Any]] = deque()
+
+    def _sample_depth(self) -> None:
+        mx = self.sim.metrics
+        if mx.enabled:
+            mx.sample(f"{self.name}.depth", self.sim.now, len(self.items))
 
     def __len__(self) -> int:
         return len(self.items)
@@ -88,8 +108,13 @@ class Store:
         elif not self.is_full:
             self.items.append(item)
             ev.succeed(None)
+            self._sample_depth()
         else:
             self._putters.append((ev, item))
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    self.sim.now, "put-blocked", "queue", track=self.name
+                )
         return ev
 
     def get(self) -> SimEvent:
@@ -101,6 +126,7 @@ class Store:
                 put_ev, item = self._putters.popleft()
                 self.items.append(item)
                 put_ev.succeed(None)
+            self._sample_depth()
         else:
             self._getters.append(ev)
         return ev
@@ -154,6 +180,28 @@ class SerialLink:
         self.busy_time += duration
         self.bytes_sent += n_bytes
         self.transfers += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.add_span(
+                start,
+                self._wire_free_at,
+                "xfer",
+                "link",
+                track=self.name,
+                bytes=n_bytes,
+            )
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.counter(f"{self.name}.bytes").inc(n_bytes)
+            metrics.counter(f"{self.name}.transfers").inc()
+            if self._wire_free_at > 0:
+                # Honest cumulative occupancy up to the wire-busy horizon:
+                # by construction <= 1; a larger value is an accounting bug.
+                metrics.sample(
+                    f"{self.name}.utilization",
+                    self.sim.now,
+                    self.busy_time / self._wire_free_at,
+                )
         done_at = self._wire_free_at + self.latency
         ev = self.sim.event()
         ev.succeed(n_bytes, delay=done_at - self.sim.now)
@@ -165,7 +213,13 @@ class SerialLink:
         return self._wire_free_at
 
     def utilization(self, horizon: float) -> float:
-        """Fraction of ``horizon`` during which the wire was occupied."""
+        """Fraction of ``horizon`` during which the wire was occupied.
+
+        Returns the *true* ratio.  A value above 1.0 means busy time was
+        over-accounted somewhere — earlier versions clamped with
+        ``min(1.0, ...)``, which silently masked exactly that class of
+        bug; callers and tests should assert ``<= 1`` instead.
+        """
         if horizon <= 0:
             raise ValueError("horizon must be positive")
-        return min(1.0, self.busy_time / horizon)
+        return self.busy_time / horizon

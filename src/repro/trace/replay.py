@@ -53,11 +53,50 @@ class ReplayResult:
         return 1.0 - self.exposed_time / self.wire_time
 
 
+def _observe_replay(result: ReplayResult, first_arrival, tracer, metrics) -> None:
+    """Record a replay's summary into the observability hooks.
+
+    A multi-million-line trace cannot afford per-line events, so the
+    replay contributes aggregates: one ``stream`` span covering the wire
+    activity window, an ``exposed`` span for the tail beyond compute, a
+    ``compute-end`` instant, and counters for lines/bytes.
+    """
+    if tracer is not None and tracer.enabled:
+        tracer.add_span(
+            first_arrival,
+            result.finish_time,
+            "stream",
+            "link",
+            track="replay",
+            n_lines=result.n_lines,
+            wire_bytes=result.wire_bytes,
+        )
+        tracer.instant(
+            result.compute_end, "compute-end", "link", track="replay"
+        )
+        if result.exposed_time > 0:
+            tracer.add_span(
+                result.compute_end,
+                result.finish_time,
+                "exposed",
+                "link",
+                track="replay-exposed",
+            )
+    if metrics is not None and metrics.enabled:
+        metrics.counter("replay.lines").inc(result.n_lines)
+        metrics.counter("replay.wire_bytes").inc(result.wire_bytes)
+        metrics.sample(
+            "replay.exposed_time", result.finish_time, result.exposed_time
+        )
+
+
 def replay_trace(
     trace: WritebackTrace,
     link: CXLLinkModel | None = None,
     dirty_bytes: int = 4,
     start_time: float = 0.0,
+    tracer=None,
+    metrics=None,
 ) -> ReplayResult:
     """Replay ``trace`` over ``link``; returns exposure accounting.
 
@@ -71,6 +110,9 @@ def replay_trace(
         DBA setting: 4 = full lines, 2 = aggregated payloads.
     start_time
         Wire availability time (e.g. end of earlier traffic).
+    tracer, metrics
+        Optional :mod:`repro.obs` hooks; the replay records summary
+        spans/counters (never per-line events — traces can be huge).
     """
     link = link or CXLLinkModel.paper_default()
     n = len(trace)
@@ -92,7 +134,7 @@ def replay_trace(
     from repro.interconnect.packets import packet_wire_bytes, CACHE_LINE_BYTES
 
     per_line_bytes = packet_wire_bytes(CACHE_LINE_BYTES * dirty_bytes // 4)
-    return ReplayResult(
+    result = ReplayResult(
         finish_time=depart_last,
         compute_end=compute_end,
         exposed_time=max(0.0, depart_last - compute_end),
@@ -100,6 +142,8 @@ def replay_trace(
         wire_bytes=per_line_bytes * n,
         n_lines=n,
     )
+    _observe_replay(result, float(arrive[0]), tracer, metrics)
+    return result
 
 
 def replay_trace_chunked(

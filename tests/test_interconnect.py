@@ -210,6 +210,119 @@ class TestCXLController:
         sim.process(producer(sim))
         sim.run()
 
+    def test_per_line_delay_pipelines_across_stream(self):
+        """Regression: the Aggregator's per-line delay is pipelined.
+
+        An N-line stream with ``per_line_delay=d`` must finish at
+        ``d + N*line_time + latency`` — the delay is exposed once, at the
+        head of the stream, not serialized per line (which would cost
+        ``N*(d + line_time)``).
+        """
+        d = 3e-9
+        n = 50
+        sim, ctrl = self._mk(per_line_delay=d)
+
+        def producer(sim):
+            for i in range(n):
+                yield ctrl.send_line(CacheLinePayload(i * 64))
+            return (yield ctrl.fence())
+
+        p = sim.process(producer(sim))
+        sim.run()
+        line_time = ctrl.model.line_transfer_time()
+        expected = d + n * line_time + ctrl.model.latency
+        assert p.value == pytest.approx(expected, rel=1e-9)
+        # and strictly cheaper than the serialized (buggy) accounting
+        assert p.value < n * (d + line_time) + ctrl.model.latency
+
+    def test_per_line_delay_pipelines_when_delay_dominates(self):
+        """Even with d >> line_time the stream pays the delay once."""
+        d = 1e-6
+        n = 10
+        sim, ctrl = self._mk(per_line_delay=d)
+
+        def producer(sim):
+            for i in range(n):
+                yield ctrl.send_line(CacheLinePayload(i * 64))
+            return (yield ctrl.fence())
+
+        p = sim.process(producer(sim))
+        sim.run()
+        expected = d + n * ctrl.model.line_transfer_time() + ctrl.model.latency
+        assert p.value == pytest.approx(expected, rel=1e-9)
+
+    def test_last_delivery_time_none_until_first_delivery(self):
+        """``last_delivery_time`` must be ``None`` before any delivery, so
+        'no delivery yet' is distinguishable from 'delivered at t=0'."""
+        sim, ctrl = self._mk()
+        assert ctrl.last_delivery_time is None
+
+        def producer(sim):
+            yield ctrl.send_line(CacheLinePayload(0))
+            yield ctrl.fence()
+
+        sim.process(producer(sim))
+        sim.run()
+        assert ctrl.last_delivery_time is not None
+        assert ctrl.last_delivery_time == pytest.approx(sim.now)
+
+    @given(
+        n_lines=st.integers(min_value=1, max_value=40),
+        fence_after=st.integers(min_value=0, max_value=40),
+        per_line_delay=st.sampled_from([0.0, 1e-9, 5e-9]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fence_fires_at_last_delivery(
+        self, n_lines, fence_after, per_line_delay
+    ):
+        """Property: a fence always fires exactly at the time of the last
+        delivery of the traffic it covers (or immediately when idle)."""
+        fence_after = min(fence_after, n_lines)
+        sim = Simulator()
+        ctrl = CXLController(sim, per_line_delay=per_line_delay)
+        fence_times = []
+
+        def producer(sim):
+            for i in range(fence_after):
+                yield ctrl.send_line(CacheLinePayload(i * 64))
+            # fence mid-stream: covers the lines enqueued so far
+            t = yield ctrl.fence()
+            fence_times.append((t, ctrl.last_delivery_time))
+            for i in range(fence_after, n_lines):
+                yield ctrl.send_line(CacheLinePayload(i * 64))
+            t = yield ctrl.fence()
+            fence_times.append((t, ctrl.last_delivery_time))
+
+        sim.process(producer(sim))
+        sim.run()
+        assert ctrl.lines_delivered == n_lines
+        for fired_at, last_delivery in fence_times:
+            if last_delivery is None:
+                assert fired_at == 0.0  # idle fence: immediate, at sim.now
+            else:
+                assert fired_at == pytest.approx(last_delivery, abs=1e-15)
+
+    def test_fence_with_full_pending_queue(self):
+        """A fence issued while the 128-entry queue is saturated still
+        fires exactly when its covered traffic has all been delivered."""
+        sim = Simulator()
+        ctrl = CXLController(sim, queue_depth=8)
+        n = 64
+        result = {}
+
+        def producer(sim):
+            for i in range(n):
+                yield ctrl.send_line(CacheLinePayload(i * 64))
+            result["fired"] = yield ctrl.fence()
+            result["last"] = ctrl.last_delivery_time
+
+        sim.process(producer(sim))
+        sim.run()
+        assert ctrl.lines_delivered == n
+        assert result["fired"] == pytest.approx(result["last"], abs=1e-15)
+        expected = n * ctrl.model.line_transfer_time() + ctrl.model.latency
+        assert result["fired"] == pytest.approx(expected, rel=1e-9)
+
     def test_dba_halves_wire_volume(self):
         """The DBA path should move ~half the bytes of the full path."""
         totals = {}
