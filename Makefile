@@ -1,10 +1,10 @@
-.PHONY: install test verify-resume verify-resume-full bench bench-show bench-smoke trace-smoke report examples clean
+.PHONY: install test verify-resume verify-resume-full bench bench-show bench-smoke trace-smoke exp-smoke report examples clean
 
 install:
 	pip install -e '.[dev]' --no-build-isolation
 
-test: verify-resume
-	pytest tests/
+test: verify-resume exp-smoke
+	PYTHONPATH=src pytest tests/
 
 # Resume-equivalence harness: train / checkpoint / resume a tiny model in
 # every TrainerMode x precision x accumulation config and assert the
@@ -35,6 +35,12 @@ bench-smoke:
 # (CXL link, pending queue, trainer phases).
 trace-smoke:
 	PYTHONPATH=src python benchmarks/trace_smoke.py results/trace-smoke.json
+
+# Experiment-framework smoke: registry covers the CLI, cached == fresh
+# byte-for-byte, a 2-worker mini-sweep whose warm re-run recomputes zero
+# cells, and (on hosts with >= 4 CPUs) a >= 2x jobs=4 speedup gate.
+exp-smoke:
+	PYTHONPATH=src python benchmarks/exp_smoke.py
 
 report:
 	python -m repro report --out results

@@ -1,0 +1,139 @@
+"""Experiment-framework smoke gate: registry, cache, and sweep executor.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/exp_smoke.py
+
+Checks, in order:
+
+1. **registry** — every legacy CLI experiment name resolves to a spec
+   and the registry is non-trivially populated;
+2. **cached == fresh** — one cheap experiment computed twice through a
+   scratch cache returns byte-identical rows (canonical JSON equality)
+   and identical result hashes;
+3. **mini-sweep** — a 4-cell ``table6`` grid runs under 2 workers with
+   zero failures, then a second pass over the same cache recomputes
+   **zero** cells;
+4. **speedup** (informational, gated on CPU count) — on hosts with >= 4
+   usable CPUs a 4-cell sweep at ``--jobs 4`` must be >= 2x faster than
+   ``--jobs 1``; on smaller hosts (this container has 1 CPU) the
+   timings are printed but not enforced, since parallel speedup is
+   physically impossible there.
+
+Exits non-zero on any violated check, so ``make exp-smoke`` (wired into
+``make test``) gates regressions in the framework itself.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import LEGACY_EXPERIMENTS  # noqa: E402
+from repro.experiments import registry  # noqa: E402
+from repro.experiments.cache import ResultCache  # noqa: E402
+from repro.experiments.executor import SweepCell, run_sweep  # noqa: E402
+from repro.experiments.registry import canonical_json  # noqa: E402
+
+SPEEDUP_MIN_CPUS = 4
+SPEEDUP_FLOOR = 2.0
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually schedule on."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def check_registry() -> None:
+    """Every legacy CLI name must resolve through the registry."""
+    names = registry.spec_names()
+    missing = [n for n in LEGACY_EXPERIMENTS if n not in names]
+    assert not missing, f"legacy experiments missing from registry: {missing}"
+    assert len(names) >= len(LEGACY_EXPERIMENTS)
+    print(f"registry: {len(names)} experiments, all {len(LEGACY_EXPERIMENTS)} "
+          "legacy CLI names covered")
+
+
+def check_cached_equals_fresh(cache_root: str) -> None:
+    """A cache round-trip must reproduce the fresh rows byte-for-byte."""
+    cache = ResultCache(root=os.path.join(cache_root, "eq"))
+    fresh = registry.run_experiment("table6", cache=cache)
+    cached = registry.run_experiment("table6", cache=cache)
+    assert cached.meta["cached"], "second run did not hit the cache"
+    assert canonical_json(cached.rows) == canonical_json(fresh.rows), (
+        "cached rows are not byte-identical to fresh rows"
+    )
+    assert cached.result_hash == fresh.result_hash
+    print(f"cache: cached == fresh for table6 "
+          f"(rows hash {fresh.result_hash[:12]})")
+
+
+def _cells() -> list[SweepCell]:
+    return [
+        SweepCell.make("table6", {"batch": b}, seed=s)
+        for b in (2, 4)
+        for s in (0, 1)
+    ]
+
+
+def check_mini_sweep(cache_root: str) -> None:
+    """4 cells under 2 workers; the warm second pass recomputes nothing."""
+    cache = ResultCache(root=os.path.join(cache_root, "sweep"))
+    cold = run_sweep(_cells(), jobs=2, cache=cache)
+    assert cold.failed == 0, f"mini-sweep had {cold.failed} failed cells"
+    assert cold.computed == len(_cells())
+    warm = run_sweep(_cells(), jobs=2, cache=cache)
+    assert warm.failed == 0
+    assert warm.computed == 0, (
+        f"warm sweep recomputed {warm.computed} cells (expected 0)"
+    )
+    assert warm.sweep_hash == cold.sweep_hash
+    print(f"sweep: 4 cells x 2 workers ok; warm pass recomputed 0 "
+          f"(sweep hash {cold.sweep_hash[:12]})")
+
+
+def check_speedup() -> None:
+    """jobs=4 vs jobs=1 wall time; enforced only with enough CPUs."""
+    serial = run_sweep(_cells(), jobs=1)
+    parallel = run_sweep(_cells(), jobs=4)
+    assert serial.failed == 0 and parallel.failed == 0
+    assert serial.sweep_hash == parallel.sweep_hash, (
+        "jobs=1 and jobs=4 disagree on result hashes"
+    )
+    speedup = serial.wall_seconds / max(parallel.wall_seconds, 1e-9)
+    cpus = usable_cpus()
+    print(f"speedup: jobs=1 {serial.wall_seconds:.2f}s, "
+          f"jobs=4 {parallel.wall_seconds:.2f}s "
+          f"({speedup:.2f}x on {cpus} usable CPU(s))")
+    if cpus >= SPEEDUP_MIN_CPUS:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"jobs=4 only {speedup:.2f}x faster than jobs=1 "
+            f"(floor {SPEEDUP_FLOOR}x on {cpus} CPUs)"
+        )
+    else:
+        print(f"  (informational only: < {SPEEDUP_MIN_CPUS} CPUs, "
+              "parallel speedup not enforceable here)")
+
+
+def main() -> int:
+    """Run every check; return a process exit code."""
+    t0 = time.perf_counter()
+    registry.ensure_registered()
+    with tempfile.TemporaryDirectory(prefix="exp-smoke-") as cache_root:
+        check_registry()
+        check_cached_equals_fresh(cache_root)
+        check_mini_sweep(cache_root)
+        check_speedup()
+    print(f"exp-smoke OK in {time.perf_counter() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,23 @@
 """Command-line interface: regenerate any paper table or figure.
 
+Everything routes through the experiment registry
+(:mod:`repro.experiments.registry`) — the CLI has no per-experiment
+wrappers, so a newly registered experiment is immediately reachable
+here, in sweeps, and in reports.
+
 Usage::
 
-    python -m repro table1
-    python -m repro fig11
-    python -m repro all              # every experiment, in paper order
-    python -m repro list             # show the experiment index
+    python -m repro list                     # the experiment index
+    python -m repro run fig10                # one experiment (cached)
+    python -m repro run fig13 --set total_steps=60 --seed 1 --no-cache
+    python -m repro sweep fig12 --set batch_sizes=4,8 --jobs 4
+    python -m repro sweep table6 --set batch=2,4,8 --seeds 0,1 --jobs 4
+    python -m repro all --jobs 4             # every experiment, paper order
+    python -m repro report --out results
+    python -m repro table1                   # legacy alias for 'run table1'
     python -m repro checkpoint --ckpt run.ckpt --steps 40
     python -m repro resume --ckpt run.ckpt --steps 40
-    python -m repro verify-resume    # bit-exact resume-equivalence suite
+    python -m repro verify-resume            # bit-exact resume-equivalence
     python -m repro trace fig10 --out trace.json   # Chrome/Perfetto trace
 """
 
@@ -16,197 +25,220 @@ from __future__ import annotations
 
 import argparse
 import sys
-from collections.abc import Callable
 
-__all__ = ["main", "EXPERIMENTS"]
+from repro.experiments import registry
+
+__all__ = ["main", "EXPERIMENTS", "LEGACY_EXPERIMENTS"]
+
+#: The pre-registry experiment names, in paper order — what ``all`` runs
+#: and what the legacy ``python -m repro <name>`` aliases cover.  Built
+#: from the registry, never hand-maintained: a registered experiment
+#: cannot silently miss the CLI.
+LEGACY_EXPERIMENTS = (
+    "table1",
+    "fig2",
+    "invalidation",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table5",
+    "table6",
+    "fig13",
+    "table7",
+    "table8",
+    "comm-volume",
+    "overheads",
+    "lammps",
+    "ablations",
+    "scaling",
+    "models",
+)
 
 
-def _table1() -> str:
-    from repro.experiments import table1
+def _legacy_runner(name: str):
+    def run() -> str:
+        result = registry.run_experiment(name)
+        return registry.render_result(result)
 
-    return table1.render_table1(table1.run_table1())
+    return run
 
 
-def _fig2() -> str:
-    from repro.experiments import fig2
-    from repro.utils.tables import format_table
+def _experiments_view() -> dict:
+    """name -> (runner, description), generated from the registry."""
+    registry.ensure_registered()
+    view = {}
+    for spec in registry.all_specs():
+        view[spec.name] = (_legacy_runner(spec.name), spec.description)
+    missing = [n for n in LEGACY_EXPERIMENTS if n not in view]
+    if missing:  # a paper experiment lost its registration — fail loudly
+        raise RuntimeError(f"experiments missing from registry: {missing}")
+    return view
 
-    near = fig2.run_fig2(n_steps=40, lr=fig2.NEAR_CONVERGENCE_LR)
-    mid = fig2.run_fig2(n_steps=40, lr=fig2.MID_TRAINING_LR)
-    rows = [
-        (
-            label,
-            f"{m['last_byte']:.0%}",
-            f"{m['last_two_bytes']:.0%}",
-            f"{m['other']:.0%}",
-        )
-        for label, m in (
-            ("params (near convergence)", near.param_means),
-            ("params (mid-training)", mid.param_means),
-            ("gradients", mid.grad_means),
-        )
-    ]
-    return format_table(
-        ["tensor", "last byte", "last 2 bytes", "other"],
-        rows,
-        title="Figure 2 — value-changed byte distribution",
+
+#: Back-compat view of the registry (name -> (runner, description)),
+#: ordered as registered (= paper order).
+EXPERIMENTS = _experiments_view()
+
+
+def _make_cache(args):
+    """The result cache implied by ``--no-cache`` / ``--cache-dir``."""
+    from repro.experiments.cache import ResultCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    root = getattr(args, "cache_dir", None)
+    return ResultCache(root=root) if root else ResultCache()
+
+
+def _parse_sets(spec, assignments):
+    """Parse repeated ``--set key=value`` into typed param overrides."""
+    params = {}
+    for text in assignments or []:
+        if "=" not in text:
+            raise SystemExit(f"--set expects key=value, got {text!r}")
+        key, value = text.split("=", 1)
+        params[key] = spec.coerce_param(key, value)
+    return params
+
+
+def _cmd_list(args) -> int:
+    registry.ensure_registered()
+    specs = registry.all_specs()
+    if args.tag:
+        specs = [s for s in specs if args.tag in s.tags]
+    width = max(len(s.name) for s in specs) if specs else 0
+    for spec in specs:
+        tags = f" [{','.join(spec.tags)}]" if args.verbose else ""
+        print(f"{spec.name.ljust(width)}  {spec.description}{tags}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.registry import RunContext
+
+    spec = registry.get_spec(args.experiment)
+    params = _parse_sets(spec, args.set)
+    ctx = RunContext(seed=args.seed, checkpoint_dir=args.checkpoint_dir)
+    result = registry.run_experiment(
+        args.experiment,
+        params=params,
+        seed=args.seed,
+        ctx=ctx,
+        cache=_make_cache(args),
     )
+    print(registry.render_result(result))
+    if result.meta.get("cached"):
+        print(f"\n[cached — rows hash {result.result_hash[:12]}]")
+    if args.json:
+        import json
+        import os
+
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=1)
+        print(f"wrote {args.json}")
+    return 0
 
 
-def _invalidation() -> str:
-    from repro.experiments import ablation_invalidation as abl
+def _sweep_cells(spec, args):
+    """Cross-product of swept params × seeds -> SweepCell list."""
+    import itertools
 
-    return abl.render_ablation(abl.run_invalidation_ablation())
+    from repro.experiments.executor import SweepCell
+
+    axes: list[tuple[str, list]] = []
+    for text in args.set or []:
+        if "=" not in text:
+            raise SystemExit(f"--set expects key=value[,value...], got {text!r}")
+        key, value = text.split("=", 1)
+        default = spec.params.get(key)
+        if isinstance(default, (tuple, list)):
+            # tuple-typed params take one value per --set (no sweeping)
+            axes.append((key, [spec.coerce_param(key, value)]))
+        else:
+            axes.append(
+                (key, [spec.coerce_param(key, v) for v in value.split(",")])
+            )
+    seeds = [int(s) for s in args.seeds.split(",")] if args.seeds else [0]
+    cells = []
+    keys = [k for k, _ in axes]
+    for combo in itertools.product(*[vals for _, vals in axes]):
+        for seed in seeds:
+            cells.append(
+                SweepCell.make(
+                    spec.name, dict(zip(keys, combo)), seed=seed
+                )
+            )
+    return cells
 
 
-def _fig10() -> str:
-    from repro.experiments import fig10
-    from repro.utils.tables import format_table
+def _cmd_sweep(args) -> int:
+    from repro.experiments.executor import run_sweep
 
-    result = fig10.run_fig10(n_steps=100, act_aft_steps=25)
-    rows = [
-        (i, f"{result.baseline_curve[i]:.4f}", f"{result.teco_curve[i]:.4f}")
-        for i in range(0, 100, 10)
-    ]
-    return format_table(
-        ["step", "original", "TECO-Reduction"],
-        rows,
-        title="Figure 10 — training loss curves",
+    spec = registry.get_spec(args.experiment)
+    cells = _sweep_cells(spec, args)
+    report = run_sweep(
+        cells,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        profile_dir=args.profile_dir,
     )
+    print(report.summary())
+    if report.trace_path:
+        print(f"merged trace -> {report.trace_path}")
+    if args.render:
+        for outcome in report.outcomes:
+            if outcome.result is not None:
+                print()
+                print(registry.render_result(outcome.result))
+    if args.out:
+        import json
+        import os
+
+        os.makedirs(args.out, exist_ok=True)
+        for i, outcome in enumerate(report.outcomes):
+            if outcome.result is None:
+                continue
+            path = os.path.join(args.out, f"cell-{i:03d}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(outcome.result.to_dict(), fh, indent=1)
+        print(f"wrote {len(report.outcomes)} cell files under {args.out}")
+    return 0 if report.failed == 0 else 1
 
 
-def _fig11() -> str:
-    from repro.experiments import fig11_table4
+def _cmd_all(args) -> int:
+    from repro.experiments.executor import SweepCell, run_sweep
 
-    return fig11_table4.render_speedups(fig11_table4.run_fig11_table4())
-
-
-def _fig12() -> str:
-    from repro.experiments import fig12
-
-    return fig12.render_fig12(fig12.run_fig12())
-
-
-def _table5() -> str:
-    from repro.experiments import table5
-
-    return table5.render_table5(table5.run_table5())
-
-
-def _table6() -> str:
-    from repro.experiments import table6
-
-    return table6.render_table6(table6.run_table6())
-
-
-def _fig13() -> str:
-    from repro.experiments import fig13
-
-    return fig13.render_fig13(
-        fig13.run_fig13(sweep=(0, 20, 40, 80, 120), total_steps=120)
-    )
+    cache = _make_cache(args)
+    if args.jobs > 1:
+        cells = [SweepCell.make(n, seed=0) for n in LEGACY_EXPERIMENTS]
+        report = run_sweep(cells, jobs=args.jobs, cache=cache)
+        for outcome in report.outcomes:
+            print()
+            if outcome.result is not None:
+                print(registry.render_result(outcome.result))
+            else:
+                print(f"{outcome.cell.label()}: FAILED — {outcome.error}")
+        print()
+        print(report.summary())
+        return 0 if report.failed == 0 else 1
+    for i, name in enumerate(LEGACY_EXPERIMENTS):
+        if i:
+            print()
+        result = registry.run_experiment(name, seed=0, cache=cache)
+        print(registry.render_result(result))
+    return 0
 
 
-def _table7() -> str:
-    from repro.experiments import table7
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
 
-    return table7.render_table7(table7.run_table7())
-
-
-def _table8() -> str:
-    from repro.experiments import table8
-
-    return table8.render_table8(table8.run_table8())
+    generate_report(args.out, cache=_make_cache(args))
+    print(f"wrote {args.out}/report.md and {args.out}/results.json")
+    return 0
 
 
-def _comm_volume() -> str:
-    from repro.experiments import comm_volume
-
-    return comm_volume.render_comm_volume(comm_volume.run_comm_volume())
-
-
-def _overheads() -> str:
-    from repro.experiments import overheads
-
-    return overheads.render_overheads()
-
-
-def _lammps() -> str:
-    from repro.experiments import lammps
-
-    return lammps.render_lammps(lammps.run_lammps())
-
-
-def _scaling() -> str:
-    from repro.experiments.scaling import render_scaling, run_scaling
-
-    return render_scaling(run_scaling())
-
-
-def _models() -> str:
-    from repro.models import MODEL_REGISTRY
-    from repro.utils.tables import format_table
-
-    return format_table(
-        ["model", "family", "params", "layers", "hidden", "heads", "giant cache"],
-        [spec.summary_row() for spec in MODEL_REGISTRY.values()],
-        title="Table III — evaluated models",
-    )
-
-
-def _ablations() -> str:
-    from repro.experiments.ablation_dpu import (
-        render_dpu_ablation,
-        run_dpu_ablation,
-    )
-    from repro.experiments.ablation_granularity import (
-        render_granularity,
-        run_buffer_granularity,
-        run_stream_granularity,
-    )
-    from repro.experiments.ablation_interconnect import (
-        render_interconnect,
-        run_interconnect_ablation,
-    )
-    from repro.experiments.ablation_seqlen import (
-        render_seqlen,
-        run_seqlen_ablation,
-    )
-
-    parts = [
-        render_dpu_ablation(run_dpu_ablation()),
-        render_granularity(
-            run_buffer_granularity(), run_stream_granularity()
-        ),
-        render_interconnect(run_interconnect_ablation()),
-        render_seqlen(run_seqlen_ablation()),
-    ]
-    return "\n\n".join(parts)
-
-
-#: name -> (runner, description); ordered as in the paper.
-EXPERIMENTS: dict[str, tuple[Callable[[], str], str]] = {
-    "table1": (_table1, "Table I — ZeRO-Offload communication fractions"),
-    "fig2": (_fig2, "Figure 2 — value-changed byte distribution"),
-    "invalidation": (_invalidation, "Sec IV-A2 — invalidation vs update"),
-    "fig10": (_fig10, "Figure 10 — loss curves with/without DBA"),
-    "fig11": (_fig11, "Figure 11 / Table IV — speedups"),
-    "fig12": (_fig12, "Figure 12 — T5-large phase breakdown"),
-    "table5": (_table5, "Table V — final model metrics"),
-    "table6": (_table6, "Table VI — model-size sensitivity"),
-    "fig13": (_fig13, "Figure 13 — DBA activation sweep"),
-    "table7": (_table7, "Table VII — ZeRO-Quant comparison"),
-    "table8": (_table8, "Table VIII — LZ4 comparison"),
-    "comm-volume": (_comm_volume, "Sec VIII-C — communication volume"),
-    "overheads": (_overheads, "Sec VIII-D — hardware overheads"),
-    "lammps": (_lammps, "Sec VII — LJ melt generality"),
-    "ablations": (_ablations, "extra ablations (DPU, granularity, PCIe)"),
-    "scaling": (_scaling, "extension — data-parallel scaling"),
-    "models": (_models, "Table III — the evaluated model zoo"),
-}
-
-
-def _run_checkpoint(args) -> int:
+def _cmd_checkpoint(args) -> int:
     """``repro checkpoint``: train the demo trainer and write a checkpoint."""
     import os
 
@@ -246,7 +278,7 @@ def _run_checkpoint(args) -> int:
     return 0
 
 
-def _run_resume(args) -> int:
+def _cmd_resume(args) -> int:
     """``repro resume``: continue a ``repro checkpoint`` run bit-exactly."""
     from repro.offload import TrainerMode
     from repro.state import CheckpointError, load_state
@@ -278,7 +310,7 @@ def _run_resume(args) -> int:
     return 0
 
 
-def _run_verify_resume(args) -> int:
+def _cmd_verify_resume(args) -> int:
     """``repro verify-resume``: the bit-exact resume-equivalence suite."""
     from repro.state.verify import render_verification, run_verification_suite
 
@@ -287,7 +319,7 @@ def _run_verify_resume(args) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
-def _run_trace(args) -> int:
+def _cmd_trace(args) -> int:
     """``repro trace``: profiled reduced run -> Chrome trace-event JSON."""
     import os
 
@@ -308,121 +340,195 @@ def _run_trace(args) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+def _add_cache_flags(parser) -> None:
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute even when a cached result exists",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default results/cache or "
+        "$REPRO_CACHE_DIR)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full subcommand parser; experiment choices come from the
+    registry, so they can never drift from what is registered."""
+    registry.ensure_registered()
+    names = registry.spec_names()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate tables and figures of the TECO paper.",
     )
-    parser.add_argument(
-        "experiment",
-        choices=[
-            *EXPERIMENTS,
-            "all",
-            "list",
-            "report",
-            "checkpoint",
-            "resume",
-            "verify-resume",
-            "trace",
-        ],
-        help=(
-            "experiment id (or 'all' / 'list' / 'report' / 'checkpoint' / "
-            "'resume' / 'verify-resume' / 'trace')"
-        ),
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show the experiment index")
+    p_list.add_argument("--tag", default=None, help="filter by tag")
+    p_list.add_argument(
+        "--verbose", action="store_true", help="show tags per experiment"
     )
-    parser.add_argument(
-        "target",
-        nargs="?",
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment via the registry")
+    p_run.add_argument("experiment", choices=names)
+    p_run.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override an experiment parameter (repeatable)",
+    )
+    p_run.add_argument("--seed", type=int, default=0, help="base seed")
+    p_run.add_argument(
+        "--checkpoint-dir",
         default=None,
-        help="experiment to profile for 'trace' (fig10 or fig13)",
+        help="make supporting experiments interruptible (fig10/fig13)",
     )
-    parser.add_argument(
-        "--out",
-        default="results",
-        help=(
-            "output directory for 'report', or trace-JSON path for "
-            "'trace' (a *.json path is a file, anything else a directory)"
-        ),
+    p_run.add_argument(
+        "--json", default=None, help="also write the result JSON here"
     )
-    parser.add_argument(
-        "--trace-steps",
-        type=int,
-        default=24,
-        help="fine-tuning steps for the 'trace' reduced run",
+    _add_cache_flags(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a parameter/seed grid, optionally in parallel"
     )
-    parser.add_argument(
-        "--ckpt",
-        default="results/demo.teco-ckpt",
-        help="checkpoint path for 'checkpoint' / 'resume'",
+    p_sweep.add_argument("experiment", choices=names)
+    p_sweep.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=V1[,V2...]",
+        help="sweep a parameter over comma-separated values (repeatable)",
     )
-    parser.add_argument(
-        "--steps",
-        type=int,
-        default=40,
-        help="steps to train ('checkpoint') or continue ('resume')",
+    p_sweep.add_argument(
+        "--seeds", default="0", help="comma-separated seeds (default 0)"
     )
-    parser.add_argument(
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    p_sweep.add_argument(
+        "--render", action="store_true", help="print each cell's table"
+    )
+    p_sweep.add_argument(
+        "--out", default=None, help="write per-cell result JSONs here"
+    )
+    p_sweep.add_argument(
+        "--profile-dir",
+        default=None,
+        help="profile each cell; write per-cell + merged Chrome traces here",
+    )
+    _add_cache_flags(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_all = sub.add_parser(
+        "all", help="every paper experiment, in paper order"
+    )
+    p_all.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    _add_cache_flags(p_all)
+    p_all.set_defaults(func=_cmd_all)
+
+    p_report = sub.add_parser(
+        "report", help="write report.md + results.json"
+    )
+    p_report.add_argument(
+        "--out", default="results", help="output directory"
+    )
+    _add_cache_flags(p_report)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_ckpt = sub.add_parser(
+        "checkpoint", help="train the demo trainer and checkpoint it"
+    )
+    p_ckpt.add_argument(
+        "--ckpt", default="results/demo.teco-ckpt", help="checkpoint path"
+    )
+    p_ckpt.add_argument(
+        "--steps", type=int, default=40, help="steps to train"
+    )
+    p_ckpt.add_argument(
         "--mode",
         default="teco-reduction",
         choices=["zero-offload", "teco-cxl", "teco-reduction"],
-        help="trainer mode for 'checkpoint'",
+        help="trainer mode",
     )
-    parser.add_argument(
-        "--mixed-precision",
-        action="store_true",
-        help="run the 'checkpoint' demo in mixed precision",
+    p_ckpt.add_argument(
+        "--mixed-precision", action="store_true", help="mixed precision"
     )
-    parser.add_argument(
+    p_ckpt.add_argument(
         "--accumulation-steps",
         type=int,
         default=1,
-        help="gradient-accumulation depth for 'checkpoint'",
+        help="gradient-accumulation depth",
     )
-    parser.add_argument(
+    p_ckpt.add_argument(
         "--act-aft-steps",
         type=int,
         default=8,
-        help="DBA activation threshold for 'checkpoint'",
+        help="DBA activation threshold",
     )
-    parser.add_argument(
-        "--seed", type=int, default=0, help="demo-run seed for 'checkpoint'"
+    p_ckpt.add_argument("--seed", type=int, default=0, help="demo-run seed")
+    p_ckpt.set_defaults(func=_cmd_checkpoint)
+
+    p_resume = sub.add_parser(
+        "resume", help="continue a 'checkpoint' run bit-exactly"
     )
-    parser.add_argument(
+    p_resume.add_argument(
+        "--ckpt", default="results/demo.teco-ckpt", help="checkpoint path"
+    )
+    p_resume.add_argument(
+        "--steps", type=int, default=40, help="steps to continue"
+    )
+    p_resume.set_defaults(func=_cmd_resume)
+
+    p_verify = sub.add_parser(
+        "verify-resume", help="bit-exact resume-equivalence suite"
+    )
+    p_verify.add_argument(
         "--full",
         action="store_true",
-        help=(
-            "'verify-resume': include the paper-scale straddle case "
-            "(checkpoint across DBA activation at step 500)"
-        ),
+        help="include the paper-scale straddle case (DBA activation at "
+        "step 500)",
     )
-    args = parser.parse_args(argv)
-    if args.experiment == "list":
-        width = max(len(k) for k in EXPERIMENTS)
-        for name, (_, desc) in EXPERIMENTS.items():
-            print(f"{name.ljust(width)}  {desc}")
-        return 0
-    if args.experiment == "report":
-        from repro.experiments.report import generate_report
+    p_verify.set_defaults(func=_cmd_verify_resume)
 
-        generate_report(args.out)
-        print(f"wrote {args.out}/report.md and {args.out}/results.json")
-        return 0
-    if args.experiment == "checkpoint":
-        return _run_checkpoint(args)
-    if args.experiment == "resume":
-        return _run_resume(args)
-    if args.experiment == "verify-resume":
-        return _run_verify_resume(args)
-    if args.experiment == "trace":
-        return _run_trace(args)
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for i, name in enumerate(names):
-        if i:
-            print()
-        runner, _ = EXPERIMENTS[name]
-        print(runner())
-    return 0
+    p_trace = sub.add_parser(
+        "trace", help="profiled reduced run -> Chrome trace JSON"
+    )
+    p_trace.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="experiment to profile (fig10 or fig13)",
+    )
+    p_trace.add_argument(
+        "--out",
+        default="results",
+        help="trace-JSON path (a *.json path is a file, else a directory)",
+    )
+    p_trace.add_argument(
+        "--trace-steps",
+        type=int,
+        default=24,
+        help="fine-tuning steps for the reduced run",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy aliases: 'repro fig10' == 'repro run fig10'.
+    if argv and argv[0] in EXPERIMENTS:
+        argv = ["run", *argv]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":

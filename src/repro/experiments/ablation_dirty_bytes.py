@@ -76,3 +76,26 @@ def render_dirty_bytes(rows: list[dict]) -> str:
             "(paper default 2 = knee: half the volume, low-byte-only loss)"
         ),
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "dirty-bytes",
+    "Ablation — dirty_bytes trade-off (1..4)",
+    tags=("ablation", "timing", "functional"),
+)
+def _dirty_bytes_experiment(
+    ctx, model="bert-large-cased", batch=4, n_steps=80
+):
+    return run_dirty_bytes_ablation(
+        model=model, batch=batch, n_steps=n_steps, seed=ctx.seed
+    )
+
+
+@renderer("dirty-bytes")
+def _dirty_bytes_render(result):
+    return render_dirty_bytes(result.rows)

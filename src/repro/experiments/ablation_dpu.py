@@ -74,3 +74,24 @@ def render_dpu_ablation(rows: list[dict]) -> str:
             "TECO does not risk stale-parameter convergence)"
         ),
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "dpu",
+    "Ablation — delayed parameter update vs TECO",
+    tags=("ablation", "timing"),
+)
+def _dpu_experiment(
+    ctx, model="bert-large-cased", batch_sizes=(1, 4, 8, 16, 32, 64)
+):
+    return run_dpu_ablation(model=model, batch_sizes=tuple(batch_sizes))
+
+
+@renderer("dpu")
+def _dpu_render(result):
+    return render_dpu_ablation(result.rows)

@@ -138,3 +138,31 @@ def render_granularity(
         title="Ablation — parameter-stream granularity over CXL",
     )
     return a + "\n\n" + b
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "granularity",
+    "Ablation — transfer granularity (buffer + stream)",
+    tags=("ablation", "timing"),
+)
+def _granularity_experiment(ctx, model="bert-large-cased", batch=4):
+    rows = [
+        {"side": "buffer", **r} for r in run_buffer_granularity(model, batch)
+    ]
+    rows += [
+        {"side": "stream", **r} for r in run_stream_granularity(model)
+    ]
+    return rows
+
+
+@renderer("granularity")
+def _granularity_render(result):
+    return render_granularity(
+        [r for r in result.rows if r["side"] == "buffer"],
+        [r for r in result.rows if r["side"] == "stream"],
+    )

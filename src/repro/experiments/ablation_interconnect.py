@@ -63,3 +63,22 @@ def render_interconnect(rows: list[dict]) -> str:
         ],
         title="Ablation — PCIe generation sensitivity (batch 4)",
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "interconnect",
+    "Ablation — PCIe generation sensitivity",
+    tags=("ablation", "timing"),
+)
+def _interconnect_experiment(ctx, model="bert-large-cased", batch=4):
+    return run_interconnect_ablation(model=model, batch=batch)
+
+
+@renderer("interconnect")
+def _interconnect_render(result):
+    return render_interconnect(result.rows)

@@ -59,3 +59,22 @@ def render_ablation(rows: list[dict]) -> str:
         ),
     )
     return table + f"\naverage: +{average_slowdown(rows):.1%}"
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "invalidation",
+    "Sec IV-A2 — invalidation vs update",
+    tags=("ablation", "timing"),
+)
+def _invalidation_experiment(ctx, batch=4):
+    return run_invalidation_ablation(batch=batch)
+
+
+@renderer("invalidation")
+def _invalidation_render(result):
+    return render_ablation(result.rows)

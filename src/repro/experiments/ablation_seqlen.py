@@ -57,3 +57,26 @@ def render_seqlen(rows: list[dict]) -> str:
         ],
         title="Ablation — sequence-length sensitivity (calibration check)",
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "seqlen",
+    "Ablation — sequence-length sensitivity",
+    tags=("ablation", "timing"),
+)
+def _seqlen_experiment(
+    ctx, model="bert-large-cased", batch=4, seq_lens=(32, 64, 128, 256, 512)
+):
+    return run_seqlen_ablation(
+        model=model, batch=batch, seq_lens=tuple(seq_lens)
+    )
+
+
+@renderer("seqlen")
+def _seqlen_render(result):
+    return render_seqlen(result.rows)

@@ -1,0 +1,79 @@
+"""The combined extra-ablations experiment (DPU, granularity, PCIe, seq).
+
+Preserves the pre-registry ``python -m repro ablations`` behaviour: run
+the four extra ablations back to back and render their tables as one
+block.  Each ablation is also registered individually (``dpu``,
+``granularity``, ``interconnect``, ``seqlen``) for sweeping one at a
+time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation_dpu import render_dpu_ablation, run_dpu_ablation
+from repro.experiments.ablation_granularity import (
+    render_granularity,
+    run_buffer_granularity,
+    run_stream_granularity,
+)
+from repro.experiments.ablation_interconnect import (
+    render_interconnect,
+    run_interconnect_ablation,
+)
+from repro.experiments.ablation_seqlen import (
+    render_seqlen,
+    run_seqlen_ablation,
+)
+from repro.experiments.registry import register, renderer
+
+__all__ = ["run_all_ablations", "render_all_ablations"]
+
+
+def run_all_ablations() -> list[dict]:
+    """All four extra ablations, tagged per-section in one row list."""
+    rows = [{"ablation": "dpu", **r} for r in run_dpu_ablation()]
+    rows += [
+        {"ablation": "granularity-buffer", **r}
+        for r in run_buffer_granularity()
+    ]
+    rows += [
+        {"ablation": "granularity-stream", **r}
+        for r in run_stream_granularity()
+    ]
+    rows += [
+        {"ablation": "interconnect", **r}
+        for r in run_interconnect_ablation()
+    ]
+    rows += [{"ablation": "seqlen", **r} for r in run_seqlen_ablation()]
+    return rows
+
+
+def render_all_ablations(rows: list[dict]) -> str:
+    """The pre-registry combined rendering of the four ablation tables."""
+
+    def part(tag: str) -> list[dict]:
+        return [r for r in rows if r["ablation"] == tag]
+
+    return "\n\n".join(
+        [
+            render_dpu_ablation(part("dpu")),
+            render_granularity(
+                part("granularity-buffer"), part("granularity-stream")
+            ),
+            render_interconnect(part("interconnect")),
+            render_seqlen(part("seqlen")),
+        ]
+    )
+
+
+@register(
+    "ablations",
+    "extra ablations (DPU, granularity, PCIe)",
+    tags=("ablation", "timing"),
+)
+def _ablations_experiment(ctx):
+    return run_all_ablations()
+
+
+@renderer("ablations")
+def _ablations_render(result):
+    return render_all_ablations(result.rows)

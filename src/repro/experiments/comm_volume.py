@@ -77,3 +77,22 @@ def render_comm_volume(rows: list[dict]) -> str:
         + f"\naverage overhead reduction: "
         f"{average(rows, 'comm_overhead_reduction'):.1%}"
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "comm-volume",
+    "Sec VIII-C — communication volume",
+    tags=("table", "timing"),
+)
+def _comm_volume_experiment(ctx, batch=4):
+    return run_comm_volume(batch=batch)
+
+
+@renderer("comm-volume")
+def _comm_volume_render(result):
+    return render_comm_volume(result.rows)

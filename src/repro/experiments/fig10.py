@@ -42,13 +42,20 @@ class Fig10Result:
         kernel = np.ones(window) / window
         return np.convolve(x, kernel, mode="valid").tolist()
 
+    #: Slack on the decreasing-trend check: a smoothed curve may end up
+    #: to 5% above its start and still count as non-increasing (noise at
+    #: tiny proxy scale).  Applied to BOTH curves symmetrically.
+    TREND_TOLERANCE = 1.05
+
     @property
     def same_trend(self) -> bool:
-        """Both smoothed curves end below where they started and their
-        final smoothed values are within 25% of the initial loss."""
+        """Both smoothed curves end below where they started (within the
+        same 5% tolerance for each) and their final smoothed values are
+        within 25% of the initial loss."""
         b = self.smoothed(self.baseline_curve)
         t = self.smoothed(self.teco_curve)
-        decreasing = b[-1] <= b[0] and t[-1] <= t[0] * 1.05
+        tol = self.TREND_TOLERANCE
+        decreasing = b[-1] <= b[0] * tol and t[-1] <= t[0] * tol
         close = abs(b[-1] - t[-1]) < 0.25 * max(b[0], 1e-9)
         return decreasing and close
 
@@ -145,3 +152,75 @@ def run_fig10_albert(
         tag="fig10-albert",
         profile=profile,
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+def rows_from_result(result: Fig10Result) -> list[dict]:
+    """Canonical per-step rows of a :class:`Fig10Result` (shared by the
+    registry adapter and the golden-row equivalence tests)."""
+    return [
+        {
+            "step": i,
+            "baseline": result.baseline_curve[i],
+            "teco": result.teco_curve[i],
+        }
+        for i in range(len(result.baseline_curve))
+    ]
+
+
+@register(
+    "fig10",
+    "Figure 10 — loss curves with/without DBA",
+    tags=("figure", "functional"),
+)
+def _fig10_experiment(ctx, n_steps=100, act_aft_steps=25, lr=5e-4):
+    result = run_fig10(
+        n_steps=n_steps,
+        act_aft_steps=act_aft_steps,
+        seed=ctx.seed,
+        lr=lr,
+        checkpoint_dir=ctx.checkpoint_dir,
+        profile=ctx.profile,
+    )
+    return rows_from_result(result)
+
+
+@renderer("fig10")
+def _fig10_render(result):
+    from repro.utils.tables import format_table
+
+    stride = max(1, len(result.rows) // 10)
+    return format_table(
+        ["step", "original", "TECO-Reduction"],
+        [
+            (r["step"], f"{r['baseline']:.4f}", f"{r['teco']:.4f}")
+            for r in result.rows[::stride]
+        ],
+        title="Figure 10 — training loss curves",
+    )
+
+
+@register(
+    "fig10-albert",
+    "Figure 10 (Albert panel) — shared-layer encoder loss curves",
+    tags=("figure", "functional"),
+)
+def _fig10_albert_experiment(ctx, n_steps=100, act_aft_steps=25, lr=5e-4):
+    result = run_fig10_albert(
+        n_steps=n_steps,
+        act_aft_steps=act_aft_steps,
+        seed=ctx.seed,
+        lr=lr,
+        checkpoint_dir=ctx.checkpoint_dir,
+        profile=ctx.profile,
+    )
+    return rows_from_result(result)
+
+
+@renderer("fig10-albert")
+def _fig10_albert_render(result):
+    return _fig10_render(result)

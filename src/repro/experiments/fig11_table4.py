@@ -107,3 +107,22 @@ def render_speedups(rows: list[dict]) -> str:
         ],
         title="Figure 11 / Table IV — speedup over ZeRO-Offload",
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "fig11",
+    "Figure 11 / Table IV — speedups",
+    tags=("figure", "table", "timing"),
+)
+def _fig11_experiment(ctx, batch_sizes=(4, 8, 16)):
+    return run_fig11_table4(tuple(batch_sizes))
+
+
+@renderer("fig11")
+def _fig11_render(result):
+    return render_speedups(result.rows)

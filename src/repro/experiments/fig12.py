@@ -73,3 +73,22 @@ def render_fig12(rows: list[dict]) -> str:
         ],
         title="Figure 12 — time breakdown (T5-large; exposed components)",
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "fig12",
+    "Figure 12 — T5-large phase breakdown",
+    tags=("figure", "timing"),
+)
+def _fig12_experiment(ctx, model="t5-large", batch_sizes=(4, 8)):
+    return run_fig12(model=model, batch_sizes=tuple(batch_sizes))
+
+
+@renderer("fig12")
+def _fig12_render(result):
+    return render_fig12(result.rows)

@@ -115,3 +115,31 @@ def render_fig13(rows: list[dict]) -> str:
             "(paper: speedup 1.63x..1.15x, perplexity 22.50..21.21)"
         ),
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "fig13",
+    "Figure 13 — DBA activation sweep",
+    tags=("figure", "functional", "timing"),
+)
+def _fig13_experiment(
+    ctx, sweep=(0, 20, 40, 80, 120), total_steps=120, paper_total_steps=1775
+):
+    return run_fig13(
+        sweep=tuple(sweep),
+        total_steps=total_steps,
+        paper_total_steps=paper_total_steps,
+        seed=ctx.seed,
+        checkpoint_dir=ctx.checkpoint_dir,
+        profile=ctx.profile,
+    )
+
+
+@renderer("fig13")
+def _fig13_render(result):
+    return render_fig13(result.rows)

@@ -83,3 +83,45 @@ def run_fig2(
         param_means=param_prof.mean_fractions(),
         grad_means=grad_prof.mean_fractions(),
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "fig2",
+    "Figure 2 — value-changed byte distribution",
+    tags=("figure", "functional"),
+)
+def _fig2_experiment(ctx, n_steps=40):
+    near = run_fig2(n_steps=n_steps, lr=NEAR_CONVERGENCE_LR, seed=ctx.seed)
+    mid = run_fig2(n_steps=n_steps, lr=MID_TRAINING_LR, seed=ctx.seed)
+    return [
+        {"tensor": label, **means}
+        for label, means in (
+            ("params (near convergence)", near.param_means),
+            ("params (mid-training)", mid.param_means),
+            ("gradients", mid.grad_means),
+        )
+    ]
+
+
+@renderer("fig2")
+def _fig2_render(result):
+    from repro.utils.tables import format_table
+
+    return format_table(
+        ["tensor", "last byte", "last 2 bytes", "other"],
+        [
+            (
+                r["tensor"],
+                f"{r['last_byte']:.0%}",
+                f"{r['last_two_bytes']:.0%}",
+                f"{r['other']:.0%}",
+            )
+            for r in result.rows
+        ],
+        title="Figure 2 — value-changed byte distribution",
+    )

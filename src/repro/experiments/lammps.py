@@ -61,3 +61,22 @@ def render_lammps(result: dict) -> str:
         rows,
         title=f"Section VII — LJ melt with TECO ({result['n_atoms']} atoms)",
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "lammps",
+    "Sec VII — LJ melt generality",
+    tags=("table", "functional", "md"),
+)
+def _lammps_experiment(ctx, n_side=5, n_steps=30):
+    return [run_lammps(n_side=n_side, n_steps=n_steps, seed=ctx.seed)]
+
+
+@renderer("lammps")
+def _lammps_render(result):
+    return render_lammps(result.rows[0])

@@ -74,9 +74,12 @@ def run_dram_overhead(
 
 
 def render_overheads() -> str:
-    """Render the measured rows as a plain-text table."""
-    hw_rows = run_hw_costs()
-    dram = run_dram_overhead()
+    """Run both measurements and render them as one text block."""
+    return _render_parts(run_hw_costs(), run_dram_overhead())
+
+
+def _render_parts(hw_rows: list[dict], dram: dict[str, float]) -> str:
+    """Render pre-computed rows (shared with the registry renderer)."""
     table = format_table(
         ["unit", "power (W)", "latency (ns)", "pipelined overhead (ns)"],
         [
@@ -96,3 +99,27 @@ def render_overheads() -> str:
         + f"sequential {dram['sequential']:.2f}x (paper 2.48x), "
         + f"shuffled {dram['shuffled']:.2f}x (paper 1.9x)"
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "overheads",
+    "Sec VIII-D — hardware overheads",
+    tags=("table", "hardware"),
+)
+def _overheads_experiment(ctx, n_lines=1 << 15):
+    rows = [{"kind": "unit", **r} for r in run_hw_costs()]
+    dram = run_dram_overhead(n_lines=n_lines, seed=ctx.seed)
+    rows.append({"kind": "dram", **dram})
+    return rows
+
+
+@renderer("overheads")
+def _overheads_render(result):
+    hw_rows = [r for r in result.rows if r["kind"] == "unit"]
+    dram = next(r for r in result.rows if r["kind"] == "dram")
+    return _render_parts(hw_rows, dram)

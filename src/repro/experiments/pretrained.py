@@ -1,0 +1,68 @@
+"""Memoized store of pre-trained proxy checkpoints.
+
+A dozen experiments fine-tune from the *same* pre-trained tiny proxy
+(:func:`repro.experiments.runner.pretrained_lm` /
+:func:`~repro.experiments.runner.pretrained_classifier` with identical
+arguments).  Pre-training is deterministic in its arguments, so the
+setup objects are pure values — this store memoizes them per process and
+the experiments stop re-pre-training identical checkpoints.
+
+Consumers treat setups as read-only (they fine-tune *fresh* models via
+``setup.fresh_model``), which is what makes sharing safe.  ``clear()``
+resets the store (tests use it to measure cold paths).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["memoized_setup", "clear", "stats", "PretrainedStats"]
+
+#: Bounded LRU of setup objects (they are tiny: KBs of arrays).
+MAX_ENTRIES = 16
+
+_STORE: OrderedDict[tuple, Any] = OrderedDict()
+
+
+@dataclass
+class PretrainedStats:
+    """Hit/miss counters of the process-wide store."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def reset(self) -> None:
+        """Zero both counters (used when clearing the store)."""
+        self.hits = 0
+        self.misses = 0
+
+
+_STATS = PretrainedStats()
+
+
+def memoized_setup(kind: str, key: tuple, builder: Callable[[], Any]):
+    """Return the cached setup for ``(kind, key)``, building on first use."""
+    full_key = (kind, key)
+    if full_key in _STORE:
+        _STORE.move_to_end(full_key)
+        _STATS.hits += 1
+        return _STORE[full_key]
+    _STATS.misses += 1
+    setup = builder()
+    _STORE[full_key] = setup
+    while len(_STORE) > MAX_ENTRIES:
+        _STORE.popitem(last=False)
+    return setup
+
+
+def clear() -> None:
+    """Drop every cached setup (counters are kept; see ``stats().reset``)."""
+    _STORE.clear()
+
+
+def stats() -> PretrainedStats:
+    """The live hit/miss counters."""
+    return _STATS

@@ -3,20 +3,26 @@
 The functional experiments all follow the paper's methodology: take a
 *pre-trained* model, fine-tune it under a system configuration, measure a
 task metric.  :func:`pretrained_lm` / :func:`pretrained_classifier` build
-and pre-train the tiny proxies once per (seed, shape); the fine-tuning
+and pre-train the tiny proxies once per argument tuple — memoized through
+:mod:`repro.experiments.pretrained`, so the dozen experiments sharing one
+proxy checkpoint pre-train it exactly once per process; the fine-tuning
 comparisons then run from identical checkpoints.
 """
 
 from __future__ import annotations
 
 import os
+import queue
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.data import classification_set, lm_batches, lm_corpus
+from repro.experiments.pretrained import memoized_setup
 from repro.models import TinyProxyConfig
 from repro.offload import OffloadTrainer, TrainerMode
+from repro.state import save_state
 from repro.tensor.transformer import (
     TinyTransformerClassifier,
     TinyTransformerLM,
@@ -26,6 +32,7 @@ from repro.utils.rng import make_rng
 __all__ = [
     "LMSetup",
     "ClassifierSetup",
+    "AsyncCheckpointer",
     "pretrained_lm",
     "pretrained_classifier",
     "finetune",
@@ -98,7 +105,21 @@ def pretrained_lm(
     Pre-training uses one corpus; fine-tuning batches come from a second
     corpus with different transition structure — the 'domain shift' that
     makes fine-tuning meaningful.
+
+    Deterministic in its arguments and memoized per process: repeated
+    calls with the same arguments return one shared (read-only) setup
+    instead of re-pre-training.
     """
+    key = (seed, pretrain_steps, finetune_batches, vocab, dim, seq, batch)
+    return memoized_setup(
+        "lm", key, lambda: _build_pretrained_lm(*key)
+    )
+
+
+def _build_pretrained_lm(
+    seed, pretrain_steps, finetune_batches, vocab, dim, seq, batch
+) -> LMSetup:
+    """The uncached body of :func:`pretrained_lm`."""
     rng = make_rng(seed)
     model = TinyTransformerLM(
         vocab=vocab, dim=dim, n_heads=2, n_layers=2, max_seq=seq + 2, rng=rng
@@ -133,7 +154,20 @@ def pretrained_classifier(
     seq: int = 12,
     batch: int = 8,
 ) -> ClassifierSetup:
-    """Pre-train a tiny classifier, yield a fine-tuning setup on fresh data."""
+    """Pre-train a tiny classifier, yield a fine-tuning setup on fresh data.
+
+    Memoized like :func:`pretrained_lm`.
+    """
+    key = (seed, pretrain_steps, finetune_batches, vocab, dim, seq, batch)
+    return memoized_setup(
+        "classifier", key, lambda: _build_pretrained_classifier(*key)
+    )
+
+
+def _build_pretrained_classifier(
+    seed, pretrain_steps, finetune_batches, vocab, dim, seq, batch
+) -> ClassifierSetup:
+    """The uncached body of :func:`pretrained_classifier`."""
     rng = make_rng(seed + 10)
     model = TinyTransformerClassifier(
         vocab=vocab,
@@ -172,6 +206,61 @@ def pretrained_classifier(
         eval_labels=ft_labels[-64:],
         shape=(vocab, dim, 2, 2, seq),
     )
+
+
+class AsyncCheckpointer:
+    """Overlap checkpoint serialization/IO with the training loop.
+
+    :meth:`submit` snapshots the trainer's ``state_dict()`` (already a
+    decoupled copy — every component copies its arrays) synchronously,
+    then a single background thread writes it through
+    :func:`repro.state.save_state`, which is atomic (temp file +
+    ``os.replace``): a kill mid-save always leaves the previous
+    checkpoint at ``path`` intact.
+
+    Snapshots are written in submission order; :meth:`close` drains the
+    queue and re-raises the first writer error, so a completed run is
+    guaranteed to have its last submitted checkpoint on disk.
+    """
+
+    def __init__(self, trainer: OffloadTrainer, path) -> None:
+        self._trainer = trainer
+        self._path = os.fspath(path)
+        self._queue: queue.Queue = queue.Queue()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._drain, name="teco-ckpt-writer", daemon=True
+        )
+        self._thread.start()
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is None:
+                    return
+                state, meta = item
+                save_state(self._path, state, meta=meta)
+            except BaseException as exc:  # surfaced by close()
+                if self._error is None:
+                    self._error = exc
+            finally:
+                self._queue.task_done()
+
+    def submit(self) -> None:
+        """Snapshot the trainer now; write it in the background."""
+        if self._error is not None:
+            raise self._error
+        self._queue.put(
+            (self._trainer.state_dict(), self._trainer.checkpoint_meta())
+        )
+
+    def close(self) -> None:
+        """Flush pending writes, stop the writer, re-raise its error."""
+        self._queue.put(None)
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
 
 
 def finetune(
@@ -215,12 +304,17 @@ def finetune(
                 f"checkpoint at {checkpoint_path!r} has {start} steps but "
                 f"this run only has {len(batches)} batches; wrong checkpoint?"
             )
-    for i in range(start, len(batches)):
-        trainer.step(*batches[i])
-        if (
-            checkpoint_path is not None
-            and checkpoint_every is not None
-            and (i + 1) % checkpoint_every == 0
-        ):
-            trainer.save_checkpoint(checkpoint_path)
+    writer = (
+        AsyncCheckpointer(trainer, checkpoint_path)
+        if checkpoint_path is not None and checkpoint_every is not None
+        else None
+    )
+    try:
+        for i in range(start, len(batches)):
+            trainer.step(*batches[i])
+            if writer is not None and (i + 1) % checkpoint_every == 0:
+                writer.submit()
+    finally:
+        if writer is not None:
+            writer.close()
     return trainer

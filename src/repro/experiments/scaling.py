@@ -72,3 +72,26 @@ def render_scaling(rows: list[dict]) -> str:
             "(TECO's win persists as per-GPU batch shrinks)"
         ),
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "scaling",
+    "extension — data-parallel scaling",
+    tags=("table", "timing", "extension"),
+)
+def _scaling_experiment(
+    ctx, model="bert-large-cased", global_batch=32, gpu_counts=(1, 2, 4, 8, 16)
+):
+    return run_scaling(
+        model=model, global_batch=global_batch, gpu_counts=tuple(gpu_counts)
+    )
+
+
+@renderer("scaling")
+def _scaling_render(result):
+    return render_scaling(result.rows)

@@ -35,3 +35,22 @@ def render_table1(rows: list[dict]) -> str:
         ],
         title="Table I — ZeRO-Offload exposed communication (Bert-large-cased)",
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "table1",
+    "Table I — ZeRO-Offload communication fractions",
+    tags=("table", "timing"),
+)
+def _table1_experiment(ctx, batch_sizes=(4, 8, 16, 20)):
+    return run_table1(tuple(batch_sizes))
+
+
+@renderer("table1")
+def _table1_render(result):
+    return render_table1(result.rows)

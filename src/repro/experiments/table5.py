@@ -222,3 +222,22 @@ def render_table5(rows: list[dict]) -> str:
         ],
         title="Table V — final model metrics (proxy tasks)",
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "table5",
+    "Table V — final model metrics",
+    tags=("table", "functional"),
+)
+def _table5_experiment(ctx, n_steps=80):
+    return run_table5(n_steps=n_steps, seed=ctx.seed)
+
+
+@renderer("table5")
+def _table5_render(result):
+    return render_table5(result.rows)

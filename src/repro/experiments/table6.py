@@ -61,3 +61,22 @@ def render_table6(rows: list[dict]) -> str:
         ],
         title="Table VI — model-size sensitivity (batch 4)",
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "table6",
+    "Table VI — model-size sensitivity",
+    tags=("table", "timing"),
+)
+def _table6_experiment(ctx, batch=4):
+    return run_table6(batch=batch)
+
+
+@renderer("table6")
+def _table6_render(result):
+    return render_table6(result.rows)

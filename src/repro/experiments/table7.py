@@ -61,3 +61,22 @@ def render_table7(rows: list[dict]) -> str:
         title="Table VII — lossy-compression baseline (teacher-student)",
     )
     return table + f"\nratio: {ratio:.2f}x (paper: 2.86x)"
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "table7",
+    "Table VII — ZeRO-Quant comparison",
+    tags=("table", "timing"),
+)
+def _table7_experiment(ctx, n_steps=MNLI_STEPS, batch=MNLI_BATCH):
+    return run_table7(n_steps=n_steps, batch=batch)
+
+
+@renderer("table7")
+def _table7_render(result):
+    return render_table7(result.rows)

@@ -97,3 +97,22 @@ def render_table8(rows: list[dict]) -> str:
         ],
         title="Table VIII — lossless compression (LZ4) vs TECO-Reduction",
     )
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "table8",
+    "Table VIII — LZ4 comparison",
+    tags=("table", "timing", "functional"),
+)
+def _table8_experiment(ctx, batch=4):
+    return run_table8(batch=batch, seed=ctx.seed)
+
+
+@renderer("table8")
+def _table8_render(result):
+    return render_table8(result.rows)

@@ -526,6 +526,21 @@ class OffloadTrainer:
         ]
         self.arena.push_params(self.gpu_params)
 
+    def checkpoint_meta(self) -> dict:
+        """The container metadata :meth:`save_checkpoint` writes.
+
+        Exposed so deferred writers (e.g. the async checkpointer in
+        :mod:`repro.experiments.runner`) persist snapshots with exactly
+        the same metadata as a direct :meth:`save_checkpoint` call.
+        """
+        return {
+            "writer": "repro.offload.trainer.OffloadTrainer",
+            "n_params": self.arena.n_params,
+            "mode": self.mode.value,
+            "mixed_precision": self.mixed_precision,
+            "accumulation_steps": self.accumulation_steps,
+        }
+
     def save_checkpoint(self, path) -> None:
         """Write a versioned, CRC-checked checkpoint atomically.
 
@@ -533,17 +548,7 @@ class OffloadTrainer:
         :mod:`repro.state.checkpoint` container — a crash mid-write
         leaves any previous checkpoint at ``path`` untouched.
         """
-        save_state(
-            path,
-            self.state_dict(),
-            meta={
-                "writer": "repro.offload.trainer.OffloadTrainer",
-                "n_params": self.arena.n_params,
-                "mode": self.mode.value,
-                "mixed_precision": self.mixed_precision,
-                "accumulation_steps": self.accumulation_steps,
-            },
-        )
+        save_state(path, self.state_dict(), meta=self.checkpoint_meta())
 
     def load_checkpoint(self, path) -> None:
         """Restore a checkpoint written by :meth:`save_checkpoint`.

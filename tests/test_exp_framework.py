@@ -1,0 +1,378 @@
+"""The experiment framework: registry, cache, executor, async checkpoints.
+
+Covers the acceptance criteria of the registry refactor:
+
+* golden-row equivalence — registry-run experiments return exactly the
+  rows the pre-registry ``run_*`` functions return (fig10, table5, and
+  the DPU ablation);
+* cache behaviour — hit/miss accounting, invalidation on param or code
+  change, and byte-identical cached-vs-fresh rows;
+* executor determinism — ``jobs=1`` and ``jobs=4`` produce identical
+  result hashes;
+* ``Fig10Result.same_trend`` symmetry regression;
+* non-blocking checkpointing — the async writer is atomic under a
+  simulated mid-save kill;
+* memoized pretrained-setup store.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.cache import ResultCache
+from repro.experiments.executor import (
+    SweepCell,
+    derive_cell_seed,
+    run_sweep,
+)
+from repro.experiments.fig10 import Fig10Result, rows_from_result, run_fig10
+from repro.experiments.registry import (
+    ExperimentResult,
+    RunContext,
+    canonical_json,
+    content_hash,
+    json_safe,
+)
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_covers_legacy_cli_names():
+    from repro.cli import EXPERIMENTS, LEGACY_EXPERIMENTS
+
+    names = registry.spec_names()
+    for name in LEGACY_EXPERIMENTS:
+        assert name in names
+        assert name in EXPERIMENTS
+
+
+def test_registry_rejects_unknown_params_and_names():
+    spec = registry.get_spec("fig10")
+    with pytest.raises(KeyError):
+        spec.resolve_params({"nonexistent": 1})
+    with pytest.raises(KeyError):
+        registry.get_spec("not-an-experiment")
+
+
+def test_register_requires_ctx_and_defaults():
+    with pytest.raises(TypeError):
+        registry.register("bad-no-ctx", "x")(lambda n_steps=3: [])
+    with pytest.raises(TypeError):
+        registry.register("bad-no-default", "x")(lambda ctx, n_steps: [])
+
+
+def test_register_rejects_duplicates():
+    with pytest.raises(ValueError):
+        registry.register("fig10", "again")(lambda ctx: [])
+
+
+def test_coerce_param_types():
+    spec = registry.get_spec("fig10")
+    assert spec.coerce_param("n_steps", "24") == 24
+    assert spec.coerce_param("lr", "1e-3") == pytest.approx(1e-3)
+    dpu = registry.get_spec("dpu")
+    assert dpu.coerce_param("batch_sizes", "1,4,8") == [1, 4, 8]
+
+
+def test_json_safe_and_content_hash_round_trip():
+    rows = [{"a": np.float64(1.5), "b": np.int32(2), "c": (1, 2)}]
+    safe = json_safe(rows)
+    assert safe == [{"a": 1.5, "b": 2, "c": [1, 2]}]
+    # hash is stable across key order
+    assert content_hash({"x": 1, "y": 2}) == content_hash({"y": 2, "x": 1})
+    assert canonical_json({"y": 2, "x": 1}) == '{"x":1,"y":2}'
+
+
+# ---------------------------------------------- golden-row equivalence
+
+
+def test_fig10_registry_rows_match_direct_run():
+    direct = run_fig10(n_steps=12, act_aft_steps=3, seed=0, lr=5e-4)
+    result = registry.run_experiment(
+        "fig10", params={"n_steps": 12, "act_aft_steps": 3}, seed=0
+    )
+    assert result.rows == json_safe(rows_from_result(direct))
+    assert result.result_hash == content_hash(rows_from_result(direct))
+
+
+def test_table5_registry_rows_match_direct_run():
+    from repro.experiments.table5 import run_table5
+
+    direct = run_table5(n_steps=6, seed=0)
+    result = registry.run_experiment("table5", params={"n_steps": 6}, seed=0)
+    assert result.rows == json_safe(direct)
+
+
+def test_dpu_registry_rows_match_direct_run():
+    from repro.experiments.ablation_dpu import run_dpu_ablation
+
+    direct = run_dpu_ablation(batch_sizes=(1, 4))
+    result = registry.run_experiment(
+        "dpu", params={"batch_sizes": (1, 4)}, seed=0
+    )
+    assert result.rows == json_safe(direct)
+
+
+# ----------------------------------------------------------------- cache
+
+
+def test_cache_hit_miss_and_byte_identical_rows(tmp_path):
+    for name, params in [("fig12", {}), ("table6", {})]:
+        cache = ResultCache(root=tmp_path / name)
+        fresh = registry.run_experiment(name, params=params, cache=cache)
+        assert fresh.meta["cached"] is False
+        assert cache.stats.misses == 1 and cache.stats.stores == 1
+        cached = registry.run_experiment(name, params=params, cache=cache)
+        assert cached.meta["cached"] is True
+        assert cache.stats.hits == 1
+        # byte-identical: same rows, same canonical encoding, same hash
+        assert cached.rows == fresh.rows
+        assert canonical_json(cached.rows) == canonical_json(fresh.rows)
+        assert cached.result_hash == fresh.result_hash
+        assert cached.provenance == fresh.provenance
+
+
+def test_cache_invalidates_on_param_seed_and_code_change(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    spec = registry.get_spec("dpu")
+    params = json_safe(spec.resolve_params({"batch_sizes": (1, 4)}))
+    code = spec.code_version()
+    result = registry.run_experiment(
+        "dpu", params={"batch_sizes": (1, 4)}, cache=cache
+    )
+    assert cache.get("dpu", params, 0, code) is not None
+    # different params -> miss
+    other = json_safe(spec.resolve_params({"batch_sizes": (1, 8)}))
+    assert cache.get("dpu", other, 0, code) is None
+    # different seed -> miss
+    assert cache.get("dpu", params, 1, code) is None
+    # different code version -> miss
+    assert cache.get("dpu", params, 0, "0" * 16) is None
+    # the stored entry round-trips through JSON bit-exactly
+    reloaded = cache.get("dpu", params, 0, code)
+    assert reloaded.rows == result.rows
+
+
+def test_cache_disabled_and_clear(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    registry.run_experiment("models", cache=cache)
+    assert cache.get(
+        "models",
+        json_safe(registry.get_spec("models").resolve_params(None)),
+        0,
+        registry.get_spec("models").code_version(),
+    )
+    cache.clear()
+    assert cache.stats.hits == 0 or True  # counters survive; files gone
+    assert not any(tmp_path.rglob("*.json"))
+    disabled = ResultCache(root=tmp_path, enabled=False)
+    result = registry.run_experiment("models", cache=disabled)
+    assert result.meta["cached"] is False
+    assert not any(tmp_path.rglob("*.json"))
+
+
+# -------------------------------------------------------------- executor
+
+
+def _cheap_cells():
+    return [
+        SweepCell.make("table6", {"batch": b}, seed=s)
+        for b in (2, 4)
+        for s in (0, 1)
+    ]
+
+
+def test_sweep_jobs1_and_jobs4_identical_hashes(tmp_path):
+    serial = run_sweep(_cheap_cells(), jobs=1)
+    parallel = run_sweep(_cheap_cells(), jobs=4)
+    assert serial.failed == 0 and parallel.failed == 0
+    assert [o.result.result_hash for o in serial.outcomes] == [
+        o.result.result_hash for o in parallel.outcomes
+    ]
+    assert [o.seed for o in serial.outcomes] == [
+        o.seed for o in parallel.outcomes
+    ]
+    assert serial.sweep_hash == parallel.sweep_hash
+
+
+def test_sweep_second_run_fully_cached(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    first = run_sweep(_cheap_cells(), jobs=1, cache=cache)
+    assert first.computed == len(_cheap_cells())
+    second = run_sweep(_cheap_cells(), jobs=1, cache=cache)
+    assert second.computed == 0
+    assert second.cached == len(_cheap_cells())
+    assert second.sweep_hash == first.sweep_hash
+
+
+def test_derive_cell_seed_content_addressed():
+    a = SweepCell.make("table6", {"batch": 2})
+    b = SweepCell.make("table6", {"batch": 4})
+    # stable, order-independent, distinct per cell content
+    assert derive_cell_seed(0, a) == derive_cell_seed(0, a)
+    assert derive_cell_seed(0, a) != derive_cell_seed(0, b)
+    assert derive_cell_seed(7, SweepCell.make("table6", {"batch": 2}, seed=5)) == 5
+
+
+def test_sweep_surfaces_cell_errors():
+    report = run_sweep(
+        [SweepCell.make("table6", {"batch": 2}), ("table6", {"nope": 1})],
+        jobs=1,
+    )
+    assert report.failed == 1
+    assert report.outcomes[0].error is None
+    assert "nope" in report.outcomes[1].error
+
+
+# ------------------------------------------------------ same_trend symmetry
+
+
+def _curve(start: float, end: float, n: int = 24) -> list[float]:
+    return list(np.linspace(start, end, n))
+
+
+def test_same_trend_rejects_rising_curves_symmetrically():
+    falling, rising = _curve(2.0, 1.0), _curve(1.0, 2.0)
+    # regression: the old check applied the 1.05 tolerance asymmetrically,
+    # so a rising curve on one side slipped through while the mirror image
+    # was rejected.  Both directions must now fail.
+    assert not Fig10Result(falling, rising, act_aft_steps=5).same_trend
+    assert not Fig10Result(rising, falling, act_aft_steps=5).same_trend
+    assert Fig10Result(falling, list(falling), act_aft_steps=5).same_trend
+
+
+def test_same_trend_tolerance_is_symmetric():
+    flat = _curve(1.0, 1.0)
+    slightly_up = _curve(1.0, 1.04)  # inside the 5% tolerance
+    too_far_up = _curve(1.0, 1.2)
+    assert Fig10Result(flat, slightly_up, act_aft_steps=5).same_trend
+    assert Fig10Result(slightly_up, flat, act_aft_steps=5).same_trend
+    assert not Fig10Result(flat, too_far_up, act_aft_steps=5).same_trend
+    assert not Fig10Result(too_far_up, flat, act_aft_steps=5).same_trend
+
+
+# --------------------------------------------------- async checkpointing
+
+
+def _demo_trainer(seed: int = 0):
+    from repro.state.verify import build_demo_trainer, demo_batches
+
+    trainer = build_demo_trainer(seed=seed)
+    trainer.train(demo_batches(6, seed=seed + 1))
+    return trainer
+
+
+def test_async_checkpointer_writes_last_submitted_state(tmp_path):
+    from repro.experiments.runner import AsyncCheckpointer
+    from repro.state import load_state
+
+    trainer = _demo_trainer()
+    path = tmp_path / "run.teco-ckpt"
+    writer = AsyncCheckpointer(trainer, path)
+    writer.submit()
+    writer.close()
+    state, meta = load_state(path)
+    assert state["step_count"] == trainer.step_count
+    assert meta["n_params"] == trainer.arena.n_params
+
+
+def test_async_checkpointer_kill_mid_save_keeps_previous(tmp_path, monkeypatch):
+    from repro.experiments.runner import AsyncCheckpointer
+    from repro.state import load_state, save_state
+    from repro.state import checkpoint as ckpt_mod
+
+    trainer = _demo_trainer()
+    path = tmp_path / "run.teco-ckpt"
+    save_state(path, trainer.state_dict(), meta={"writer": "test"})
+    before = path.read_bytes()
+
+    # simulate a kill at the instant of the atomic rename: the temp file
+    # is discarded and the previous checkpoint must stay intact
+    def doomed_replace(src, dst):
+        raise OSError("killed mid-save")
+
+    monkeypatch.setattr(ckpt_mod.os, "replace", doomed_replace)
+    writer = AsyncCheckpointer(trainer, path)
+    writer.submit()
+    with pytest.raises(OSError, match="killed mid-save"):
+        writer.close()
+    monkeypatch.undo()
+
+    assert path.read_bytes() == before  # previous checkpoint untouched
+    assert not list(tmp_path.glob("*.tmp.*"))  # no temp-file litter
+    state, meta = load_state(path)
+    assert meta == {"writer": "test"}
+    assert state["step_count"] == trainer.step_count
+
+
+def test_finetune_checkpoint_every_resumes_bit_exactly(tmp_path):
+    from repro.experiments.runner import finetune, pretrained_lm
+    from repro.offload import TrainerMode
+
+    setup = pretrained_lm(seed=3, pretrain_steps=4, finetune_batches=8)
+    path = tmp_path / "ft.teco-ckpt"
+    first = finetune(
+        setup,
+        TrainerMode.TECO_REDUCTION,
+        checkpoint_path=path,
+        checkpoint_every=4,
+    )
+    assert path.exists()
+    resumed = finetune(
+        setup,
+        TrainerMode.TECO_REDUCTION,
+        checkpoint_path=path,
+        checkpoint_every=4,
+    )
+    # the checkpoint covered every batch, so the resume trains nothing
+    assert resumed.step_count == first.step_count == 8
+    assert resumed.loss_curve == first.loss_curve
+
+
+# --------------------------------------------------- pretrained memo store
+
+
+def test_pretrained_store_memoizes_and_rebuilds_bit_exact():
+    from repro.experiments import pretrained
+    from repro.experiments.runner import pretrained_lm
+
+    pretrained.clear()
+    pretrained.stats().reset()
+    args = dict(seed=11, pretrain_steps=4, finetune_batches=4)
+    first = pretrained_lm(**args)
+    again = pretrained_lm(**args)
+    assert again is first  # shared, not re-pre-trained
+    stats = pretrained.stats()
+    assert stats.misses == 1 and stats.hits == 1
+    pretrained.clear()
+    rebuilt = pretrained_lm(**args)
+    assert rebuilt is not first
+    for key in first.state:
+        np.testing.assert_array_equal(rebuilt.state[key], first.state[key])
+    other = pretrained_lm(seed=12, pretrain_steps=4, finetune_batches=4)
+    assert other is not rebuilt
+    pretrained.clear()
+
+
+# ----------------------------------------------------------------- report
+
+
+def test_report_runs_subset_through_cache(tmp_path):
+    from repro.experiments.report import generate_report
+
+    cache = ResultCache(root=tmp_path / "cache")
+    out = tmp_path / "rep"
+    rendered = generate_report(out, experiments=["models", "dpu"], cache=cache)
+    assert set(rendered) == {"models", "dpu"}
+    assert (out / "report.md").exists()
+    assert (out / "results.json").exists()
+    # second generation is fully served from the cache
+    generate_report(out, experiments=["models", "dpu"], cache=cache)
+    assert cache.stats.hits == 2
+    with pytest.raises(KeyError):
+        generate_report(out, experiments=["not-real"], cache=cache)
