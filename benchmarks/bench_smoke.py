@@ -123,6 +123,33 @@ def op_headline_system_model():
     return _timed(run, 1)
 
 
+def op_fabric_cluster_step():
+    """End-to-end multi-tenant cluster step over the shared CXL fabric.
+
+    2 hosts x 2 tenants, fair-share pool: exercises the whole fabric
+    path — cell pipelining through port/switch/pool SerialLinks, the
+    pool partitioning, and per-tenant accounting — as one headline op
+    (one element = one full cluster step).
+    """
+    from repro.offload import ClusterEngine
+    from repro.offload.parallel import ClusterParams
+
+    spec = evaluation_models()[0]
+
+    def run():
+        result = ClusterEngine(
+            SystemKind.TECO_REDUCTION,
+            spec,
+            4,
+            ClusterParams(n_gpus=1),
+            n_hosts=2,
+            n_tenants=2,
+        ).simulate_step()
+        assert result.fabric_bytes > 0
+
+    return _timed(run, 1)
+
+
 def op_tracer_disabled_steps():
     """The instrumented DES hot path with observability OFF.
 
@@ -153,6 +180,7 @@ OPS = {
     "trace_replay_256k_events": op_trace_replay,
     "sweep_trace_64KiB_arena": op_sweep_trace,
     "headline_system_model": op_headline_system_model,
+    "fabric_cluster_step_2x2": op_fabric_cluster_step,
     TRACER_OVERHEAD_OP: op_tracer_disabled_steps,
 }
 

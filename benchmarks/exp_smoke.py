@@ -14,7 +14,11 @@ Checks, in order:
 3. **mini-sweep** — a 4-cell ``table6`` grid runs under 2 workers with
    zero failures, then a second pass over the same cache recomputes
    **zero** cells;
-4. **speedup** (informational, gated on CPU count) — on hosts with >= 4
+4. **fabric** — a reduced ``fig_fabric`` cell (the multi-host CXL
+   fabric sweep) is byte-identical cached vs fresh, its contention
+   slowdown is monotone in tenants, and a 2-cell fabric sweep produces
+   the same sweep hash under ``jobs=1`` and ``jobs=2``;
+5. **speedup** (informational, gated on CPU count) — on hosts with >= 4
    usable CPUs a 4-cell sweep at ``--jobs 4`` must be >= 2x faster than
    ``--jobs 1``; on smaller hosts (this container has 1 CPU) the
    timings are printed but not enforced, since parallel speedup is
@@ -99,6 +103,42 @@ def check_mini_sweep(cache_root: str) -> None:
           f"(sweep hash {cold.sweep_hash[:12]})")
 
 
+#: Reduced fig_fabric cell: one node count, two tenancy levels, one
+#: policy — seconds of wall time, but exercises the whole fabric path.
+_FABRIC_PARAMS = {
+    "nodes": [1],
+    "tenants": [1, 2],
+    "policies": ["fair"],
+}
+
+
+def check_fabric(cache_root: str) -> None:
+    """fig_fabric: cached == fresh, monotone slowdown, jobs-invariance."""
+    cache = ResultCache(root=os.path.join(cache_root, "fabric"))
+    fresh = registry.run_experiment("fig_fabric", _FABRIC_PARAMS, cache=cache)
+    cached = registry.run_experiment("fig_fabric", _FABRIC_PARAMS, cache=cache)
+    assert cached.meta["cached"], "second fig_fabric run did not hit the cache"
+    assert canonical_json(cached.rows) == canonical_json(fresh.rows), (
+        "cached fig_fabric rows are not byte-identical to fresh rows"
+    )
+    assert cached.result_hash == fresh.result_hash
+    slowdowns = [r["slowdown"] for r in fresh.rows]
+    assert slowdowns == sorted(slowdowns) and slowdowns[0] == 1.0, (
+        f"fig_fabric slowdown not monotone in tenants: {slowdowns}"
+    )
+    cells = [
+        SweepCell.make("fig_fabric", _FABRIC_PARAMS, seed=s) for s in (0, 1)
+    ]
+    serial = run_sweep(cells, jobs=1)
+    parallel = run_sweep(cells, jobs=2)
+    assert serial.failed == 0 and parallel.failed == 0
+    assert serial.sweep_hash == parallel.sweep_hash, (
+        "fig_fabric sweep hashes disagree between jobs=1 and jobs=2"
+    )
+    print(f"fabric: fig_fabric cached == fresh, slowdown {slowdowns[-1]:.2f}x "
+          f"at 2 tenants, jobs-1 == jobs-2 (hash {serial.sweep_hash[:12]})")
+
+
 def check_speedup() -> None:
     """jobs=4 vs jobs=1 wall time; enforced only with enough CPUs."""
     serial = run_sweep(_cells(), jobs=1)
@@ -130,6 +170,7 @@ def main() -> int:
         check_registry()
         check_cached_equals_fresh(cache_root)
         check_mini_sweep(cache_root)
+        check_fabric(cache_root)
         check_speedup()
     print(f"exp-smoke OK in {time.perf_counter() - t0:.1f}s")
     return 0

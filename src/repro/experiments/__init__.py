@@ -32,6 +32,7 @@ from repro.experiments import ablation_interconnect
 from repro.experiments import ablation_seqlen
 from repro.experiments import ablations
 from repro.experiments import scaling
+from repro.experiments import fig_fabric
 from repro.experiments import models_table
 from repro.experiments import ablation_dirty_bytes
 from repro.experiments import cost_model
@@ -62,6 +63,7 @@ __all__ = [
     "ablation_seqlen",
     "ablations",
     "scaling",
+    "fig_fabric",
     "models_table",
     "ablation_dirty_bytes",
     "cost_model",

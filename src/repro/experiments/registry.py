@@ -199,7 +199,12 @@ class ExperimentSpec:
             return float(text)
         if isinstance(default, (tuple, list)):
             elem = default[0] if default else 0
-            cast = float if isinstance(elem, float) else int
+            if isinstance(elem, str):
+                cast = str
+            elif isinstance(elem, float):
+                cast = float
+            else:
+                cast = int
             return [cast(v) for v in text.split(",") if v != ""]
         return text
 

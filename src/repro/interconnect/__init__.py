@@ -15,6 +15,13 @@ These modules reproduce that emulation layer:
 """
 
 from repro.interconnect.cxl import CXLController, CXLLinkModel, CXL_EFFICIENCY
+from repro.interconnect.fabric import (
+    CXLFabric,
+    FabricParams,
+    FabricPort,
+    FabricStats,
+    PartitionPolicy,
+)
 from repro.interconnect.packets import (
     CacheLinePayload,
     CXLPacket,
@@ -29,6 +36,11 @@ __all__ = [
     "CXLLinkModel",
     "CXLController",
     "CXL_EFFICIENCY",
+    "CXLFabric",
+    "FabricParams",
+    "FabricPort",
+    "FabricStats",
+    "PartitionPolicy",
     "MessageType",
     "CXLPacket",
     "CacheLinePayload",

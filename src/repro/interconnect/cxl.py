@@ -90,6 +90,13 @@ class CXLController:
     per_line_delay
         Extra processing latency added per line before it reaches the wire
         (e.g. the 1 ns Aggregator delay of TECO-Reduction).
+    link
+        Optional pre-built transmission medium.  By default the controller
+        owns a private :class:`~repro.sim.SerialLink` derived from
+        ``model``; pass a :class:`~repro.interconnect.fabric.FabricPort`
+        (or any object with ``transmit``/``free_at``/``bytes_sent``) to
+        drive a shared multi-host fabric port instead — deliveries then
+        complete only when lines clear the switch and pool stages.
     name
         Label used in statistics.
     """
@@ -101,6 +108,7 @@ class CXLController:
         *,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         per_line_delay: float = 0.0,
+        link=None,
         name: str = "cxl",
     ):
         if queue_depth < 1:
@@ -111,7 +119,7 @@ class CXLController:
         self.model = model or CXLLinkModel.paper_default()
         self.per_line_delay = per_line_delay
         self.name = name
-        self.link = SerialLink(
+        self.link = link if link is not None else SerialLink(
             sim,
             self.model.effective_bandwidth,
             latency=self.model.latency,

@@ -1,0 +1,441 @@
+"""Multi-host CXL memory-pool fabric: port links, switch, partitioned pool.
+
+The paper evaluates one host with one CXL attachment, but its motivation
+(Section II-A) is the large-scale data-parallel regime — many trainer
+nodes contending for shared disaggregated memory.  This module models
+that cluster topology in the style of CXL-ClusterSim / CXLRAMSim
+(PAPERS.md): ``N`` host ports, each a private :class:`~repro.sim.SerialLink`,
+feed a shared switch stage with its own serialization, which feeds a
+memory pool whose bandwidth is partitioned across tenants.
+
+Topology of one transfer (store-and-forward per stage, pipelined in
+cells so a large transfer approaches the fluid cut-through limit)::
+
+    host i ──port link i──▶ [ switch ] ──▶ [ pool partition(tenant) ]
+
+Pool partitioning (:class:`PartitionPolicy`):
+
+``SHARED``
+    One FCFS pool link at full pool bandwidth — tenants contend freely
+    (no isolation; a greedy tenant can starve others).
+``FAIR_SHARE``
+    The pool bandwidth is statically divided ``1/M`` per tenant — full
+    isolation, but idle tenants' shares go unused.
+``WEIGHTED``
+    Static QoS split proportional to ``tenant_weights``.
+
+Every stage is a real :class:`~repro.sim.SerialLink`, so per-link wire
+spans land in Chrome traces for free; the fabric additionally emits
+``switch-queue`` / ``pool-queue`` spans (category ``fabric``) whenever a
+cell waits behind other tenants' traffic, and threads per-port /
+per-tenant byte and wait accounting through :class:`FabricStats` and
+``sim.metrics``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.interconnect.cxl import CXLLinkModel
+from repro.sim import SerialLink, SimEvent, Simulator
+from repro.utils.units import NS, Bandwidth
+
+__all__ = [
+    "PartitionPolicy",
+    "FabricParams",
+    "FabricStats",
+    "FabricPort",
+    "CXLFabric",
+]
+
+#: One switch hop (arbitration + crossbar traversal) — a CXL 2.0 switch
+#: adds on the order of 100-250 ns per direction.
+DEFAULT_SWITCH_LATENCY = 250 * NS
+
+#: Fixed access latency of the pooled memory device behind the switch.
+DEFAULT_POOL_LATENCY = 150 * NS
+
+#: Cells a transfer is split into for store-and-forward pipelining.
+#: Residual pipelining error vs the fluid cut-through limit is about
+#: ``(n_stages - 1) / cells`` of one stage traverse time.
+DEFAULT_CELLS_PER_TRANSFER = 32
+
+#: Transfers at or below this size cross the fabric as a single cell
+#: (splitting a few hundred bytes would only multiply event count).
+MIN_CELL_BYTES = 4096
+
+
+class PartitionPolicy(enum.Enum):
+    """How pool bandwidth is divided across tenants."""
+
+    SHARED = "shared"
+    FAIR_SHARE = "fair"
+    WEIGHTED = "weighted"
+
+    @classmethod
+    def parse(cls, value: "PartitionPolicy | str") -> "PartitionPolicy":
+        """Accept an enum member or its string value (CLI/registry use)."""
+        if isinstance(value, cls):
+            return value
+        for member in cls:
+            if member.value == value:
+                return member
+        raise ValueError(
+            f"unknown partition policy {value!r}; "
+            f"known: {[m.value for m in cls]}"
+        )
+
+
+@dataclass(frozen=True)
+class FabricParams:
+    """Static description of one multi-host fabric.
+
+    Parameters
+    ----------
+    n_ports
+        Host ports (one per trainer node).
+    n_tenants
+        Concurrent training jobs sharing the pool.  Tenants map onto
+        ports by the caller (round-robin in
+        :class:`repro.offload.cluster.ClusterEngine`); several tenants
+        may share one port.
+    port_bandwidth
+        Per-port link bandwidth.  Defaults to the paper's CXL effective
+        bandwidth (94.3% of PCIe 3.0 x16).
+    port_latency
+        Propagation latency of one port link.
+    switch_bandwidth
+        Aggregate switch serialization bandwidth.  ``None`` (default)
+        sizes a non-blocking switch: ``n_ports x port_bandwidth``.
+    switch_latency
+        Per-cell switch hop latency.
+    pool_bandwidth
+        Memory-pool device bandwidth shared by all tenants.  ``None``
+        (default) provisions ``2 x port_bandwidth`` — bandwidth-rich for
+        one node, contended once aggregate demand exceeds it.
+    pool_latency
+        Pool device access latency.
+    policy
+        Pool partitioning mode.
+    tenant_weights
+        QoS weights, required (length ``n_tenants``) for ``WEIGHTED``.
+    cells_per_transfer
+        Pipelining granularity of :meth:`FabricPort.transmit`.
+    """
+
+    n_ports: int = 2
+    n_tenants: int = 1
+    port_bandwidth: Bandwidth = field(
+        default_factory=lambda: CXLLinkModel.paper_default().effective_bandwidth
+    )
+    port_latency: float = CXLLinkModel.paper_default().latency
+    switch_bandwidth: Bandwidth | None = None
+    switch_latency: float = DEFAULT_SWITCH_LATENCY
+    pool_bandwidth: Bandwidth | None = None
+    pool_latency: float = DEFAULT_POOL_LATENCY
+    policy: PartitionPolicy = PartitionPolicy.FAIR_SHARE
+    tenant_weights: tuple[float, ...] | None = None
+    cells_per_transfer: int = DEFAULT_CELLS_PER_TRANSFER
+
+    def __post_init__(self) -> None:
+        if self.n_ports < 1:
+            raise ValueError("n_ports must be >= 1")
+        if self.n_tenants < 1:
+            raise ValueError("n_tenants must be >= 1")
+        if self.cells_per_transfer < 1:
+            raise ValueError("cells_per_transfer must be >= 1")
+        for lat in (self.port_latency, self.switch_latency, self.pool_latency):
+            if lat < 0:
+                raise ValueError("latencies must be non-negative")
+        object.__setattr__(self, "policy", PartitionPolicy.parse(self.policy))
+        if self.policy is PartitionPolicy.WEIGHTED:
+            w = self.tenant_weights
+            if w is None or len(w) != self.n_tenants:
+                raise ValueError(
+                    "WEIGHTED policy needs tenant_weights of length n_tenants"
+                )
+            if any(x <= 0 for x in w):
+                raise ValueError("tenant_weights must be positive")
+
+    @property
+    def resolved_switch_bandwidth(self) -> Bandwidth:
+        """Switch bandwidth with the non-blocking default applied."""
+        if self.switch_bandwidth is not None:
+            return self.switch_bandwidth
+        return self.port_bandwidth.scaled(self.n_ports)
+
+    @property
+    def resolved_pool_bandwidth(self) -> Bandwidth:
+        """Pool bandwidth with the 2x-port default applied."""
+        if self.pool_bandwidth is not None:
+            return self.pool_bandwidth
+        return self.port_bandwidth.scaled(2.0)
+
+    def tenant_share(self, tenant: int) -> float:
+        """Fraction of pool bandwidth guaranteed to ``tenant``."""
+        if not 0 <= tenant < self.n_tenants:
+            raise ValueError(f"tenant {tenant} out of range")
+        if self.policy is PartitionPolicy.SHARED:
+            return 1.0
+        if self.policy is PartitionPolicy.FAIR_SHARE:
+            return 1.0 / self.n_tenants
+        weights = self.tenant_weights or ()
+        return weights[tenant] / sum(weights)
+
+
+@dataclass
+class FabricStats:
+    """Per-port / per-tenant traffic and contention accounting.
+
+    ``*_wait`` totals are queueing seconds accumulated by cells that
+    found the stage wire busy on arrival — the fabric's contention
+    breakdown (zero on an unloaded fabric).
+    """
+
+    port_bytes: dict[int, float] = field(default_factory=dict)
+    tenant_bytes: dict[int, float] = field(default_factory=dict)
+    tenant_switch_wait: dict[int, float] = field(default_factory=dict)
+    tenant_pool_wait: dict[int, float] = field(default_factory=dict)
+
+    def _account_bytes(self, port: int, tenant: int, n_bytes: float) -> None:
+        self.port_bytes[port] = self.port_bytes.get(port, 0.0) + n_bytes
+        self.tenant_bytes[tenant] = self.tenant_bytes.get(tenant, 0.0) + n_bytes
+
+    @property
+    def total_bytes(self) -> float:
+        """All payload bytes that entered the fabric."""
+        return sum(self.tenant_bytes.values())
+
+    @property
+    def switch_wait(self) -> float:
+        """Total switch queueing seconds across tenants."""
+        return sum(self.tenant_switch_wait.values())
+
+    @property
+    def pool_wait(self) -> float:
+        """Total pool queueing seconds across tenants."""
+        return sum(self.tenant_pool_wait.values())
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy (row material for experiments)."""
+        return {
+            "port_bytes": {str(k): v for k, v in sorted(self.port_bytes.items())},
+            "tenant_bytes": {
+                str(k): v for k, v in sorted(self.tenant_bytes.items())
+            },
+            "tenant_switch_wait": {
+                str(k): v for k, v in sorted(self.tenant_switch_wait.items())
+            },
+            "tenant_pool_wait": {
+                str(k): v for k, v in sorted(self.tenant_pool_wait.items())
+            },
+            "switch_wait": self.switch_wait,
+            "pool_wait": self.pool_wait,
+            "total_bytes": self.total_bytes,
+        }
+
+
+class FabricPort:
+    """One tenant's attachment to a fabric port.
+
+    Implements the :class:`~repro.sim.SerialLink`-shaped surface the
+    offload engines and :class:`~repro.interconnect.cxl.CXLController`
+    drive — ``transmit()``, ``free_at``, ``bytes_sent``, ``name`` — so a
+    private host link can be swapped for a fabric attachment without
+    touching engine code.  Several attachments may share the underlying
+    port wire (multiple jobs on one node).
+    """
+
+    def __init__(self, fabric: "CXLFabric", port_index: int, tenant: int):
+        self.fabric = fabric
+        self.port_index = port_index
+        self.tenant = tenant
+        self.name = f"{fabric.name}-p{port_index}-t{tenant}"
+        #: Payload bytes this attachment pushed into the fabric.
+        self.bytes_sent = 0.0
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator the fabric lives in."""
+        return self.fabric.sim
+
+    @property
+    def _wire(self) -> SerialLink:
+        return self.fabric.port_links[self.port_index]
+
+    @property
+    def free_at(self) -> float:
+        """When the underlying port wire next idles (pipelining hint)."""
+        return self._wire.free_at
+
+    def transmit(self, n_bytes: float, extra_delay: float = 0.0) -> SimEvent:
+        """Send ``n_bytes`` through port -> switch -> pool.
+
+        Returns the end-to-end delivery event (fires when the last cell
+        leaves the pool stage).  ``extra_delay`` is charged once, ahead
+        of the first cell (DMA setup / aggregation front-end).
+        """
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        fabric = self.fabric
+        sim = fabric.sim
+        self.bytes_sent += n_bytes
+        fabric.stats._account_bytes(self.port_index, self.tenant, n_bytes)
+        mx = sim.metrics
+        if mx.enabled:
+            mx.counter(f"{fabric.name}.tenant{self.tenant}.bytes").inc(n_bytes)
+            mx.counter(f"{fabric.name}.port{self.port_index}.bytes").inc(n_bytes)
+
+        cells = fabric.params.cells_per_transfer
+        if n_bytes <= MIN_CELL_BYTES or cells == 1:
+            cell_sizes = [n_bytes]
+        else:
+            per = n_bytes / cells
+            cell_sizes = [per] * cells
+        done = sim.event()
+        remaining = len(cell_sizes)
+
+        def pool_done(_ev: SimEvent) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                done.succeed(n_bytes)
+
+        for i, cell in enumerate(cell_sizes):
+            port_ev = self._wire.transmit(
+                cell, extra_delay=extra_delay if i == 0 else 0.0
+            )
+            port_ev.callbacks.append(
+                lambda _ev, c=cell: self._enter_switch(c, pool_done)
+            )
+        return done
+
+    # -- stage hand-offs (run as event callbacks at stage-exit times) ------
+    def _enter_switch(self, cell: float, pool_done) -> None:
+        fabric = self.fabric
+        sim = fabric.sim
+        switch = fabric.switch_link
+        wait = max(0.0, switch.free_at - sim.now)
+        if wait > 0.0:
+            stats = fabric.stats.tenant_switch_wait
+            stats[self.tenant] = stats.get(self.tenant, 0.0) + wait
+            if sim.tracer.enabled:
+                sim.tracer.add_span(
+                    sim.now,
+                    sim.now + wait,
+                    "switch-queue",
+                    "fabric",
+                    track=f"{fabric.name}-switch",
+                    tenant=self.tenant,
+                    port=self.port_index,
+                    bytes=cell,
+                )
+        ev = switch.transmit(cell)
+        ev.callbacks.append(lambda _ev: self._enter_pool(cell, pool_done))
+
+    def _enter_pool(self, cell: float, pool_done) -> None:
+        fabric = self.fabric
+        sim = fabric.sim
+        pool = fabric.pool_link_for(self.tenant)
+        wait = max(0.0, pool.free_at - sim.now)
+        if wait > 0.0:
+            stats = fabric.stats.tenant_pool_wait
+            stats[self.tenant] = stats.get(self.tenant, 0.0) + wait
+            if sim.tracer.enabled:
+                sim.tracer.add_span(
+                    sim.now,
+                    sim.now + wait,
+                    "pool-queue",
+                    "fabric",
+                    track=pool.name,
+                    tenant=self.tenant,
+                    port=self.port_index,
+                    bytes=cell,
+                )
+        ev = pool.transmit(cell)
+        ev.callbacks.append(pool_done)
+
+
+class CXLFabric:
+    """The discrete-event fabric: port wires, switch stage, pool stage.
+
+    Build one per :class:`~repro.sim.Simulator`, then hand out tenant
+    attachments with :meth:`port`::
+
+        fabric = CXLFabric(sim, FabricParams(n_ports=4, n_tenants=8))
+        link = fabric.port(port_index=3, tenant=6)
+        yield link.transmit(chunk_bytes)
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: FabricParams | None = None,
+        name: str = "fabric",
+    ):
+        self.sim = sim
+        self.params = params or FabricParams()
+        self.name = name
+        p = self.params
+        self.port_links = [
+            SerialLink(
+                sim,
+                p.port_bandwidth,
+                latency=p.port_latency,
+                name=f"{name}-port{i}",
+            )
+            for i in range(p.n_ports)
+        ]
+        self.switch_link = SerialLink(
+            sim,
+            p.resolved_switch_bandwidth,
+            latency=p.switch_latency,
+            name=f"{name}-switch",
+        )
+        pool_bw = p.resolved_pool_bandwidth
+        if p.policy is PartitionPolicy.SHARED:
+            self._pool_links = [
+                SerialLink(
+                    sim, pool_bw, latency=p.pool_latency, name=f"{name}-pool"
+                )
+            ]
+        else:
+            self._pool_links = [
+                SerialLink(
+                    sim,
+                    pool_bw.scaled(p.tenant_share(t)),
+                    latency=p.pool_latency,
+                    name=f"{name}-pool-t{t}",
+                )
+                for t in range(p.n_tenants)
+            ]
+        self.stats = FabricStats()
+        self._attachments: list[FabricPort] = []
+
+    def port(self, port_index: int, tenant: int = 0) -> FabricPort:
+        """An attachment for ``tenant`` on host port ``port_index``."""
+        if not 0 <= port_index < self.params.n_ports:
+            raise ValueError(
+                f"port {port_index} out of range (fabric has "
+                f"{self.params.n_ports} ports)"
+            )
+        if not 0 <= tenant < self.params.n_tenants:
+            raise ValueError(
+                f"tenant {tenant} out of range (fabric has "
+                f"{self.params.n_tenants} tenants)"
+            )
+        attachment = FabricPort(self, port_index, tenant)
+        self._attachments.append(attachment)
+        return attachment
+
+    def pool_link_for(self, tenant: int) -> SerialLink:
+        """The pool-stage link serving ``tenant`` under the policy."""
+        if self.params.policy is PartitionPolicy.SHARED:
+            return self._pool_links[0]
+        return self._pool_links[tenant]
+
+    @property
+    def pool_links(self) -> list[SerialLink]:
+        """All pool-stage links (one, or one per tenant)."""
+        return list(self._pool_links)

@@ -54,7 +54,17 @@ class PCIeLinkModel:
         ringing the doorbell; dominates small explicit copies.
     payload_efficiency
         Fraction of raw link bandwidth available to payload after TLP
-        framing (headers/CRC) for large DMA bursts.
+        framing (headers/CRC) for large DMA bursts.  The dataclass
+        default of 1.0 is the *ideal* link (kept for closed-form unit
+        math); every timing comparison against the CXL path must charge
+        real framing, because the CXL side always pays its per-line
+        packet headers (``packet_wire_bytes``) — a 1.0 here would let
+        the ZeRO-Offload baseline ship header-free bytes while TECO
+        pays protocol overhead, flattering the baseline.
+        :meth:`repro.offload.timing.HardwareParams.paper_default`
+        therefore calibrates this to 0.85 (typical 256-byte-MPS TLP
+        efficiency); see ``tests/test_interconnect.py``
+        (``TestHeaderAccountingParity``) for the cross-path check.
     """
 
     gen: PCIeGen = PCIeGen.GEN3
@@ -84,12 +94,14 @@ class PCIeLinkModel:
         """Wall time for one explicit DMA copy of ``n_bytes``.
 
         This is the transfer primitive the ZeRO-Offload baseline uses
-        (coarse-grained tensor copies).
+        (coarse-grained tensor copies).  A zero-byte transfer still pays
+        ``dma_setup_latency``: the descriptor is programmed and the
+        doorbell rung before the engine discovers there is no payload.
+        (An earlier version returned 0.0 here, silently exempting
+        degenerate copies from the setup cost every real copy pays.)
         """
         if n_bytes < 0:
             raise ValueError("n_bytes must be non-negative")
-        if n_bytes == 0:
-            return 0.0
         return self.dma_setup_latency + self.effective_bandwidth.time_for(n_bytes)
 
     @classmethod

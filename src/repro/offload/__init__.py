@@ -19,6 +19,7 @@ Two layers of machinery:
 
 from repro.offload.arena import FlatArena
 from repro.offload.breakdown import StepBreakdown
+from repro.offload.cluster import ClusterEngine, ClusterStepResult
 from repro.offload.engines import (
     SystemKind,
     TECOEngine,
@@ -26,12 +27,17 @@ from repro.offload.engines import (
     simulate_system,
 )
 from repro.offload.memory import MemoryBudget, MemoryModel
+from repro.offload.parallel import ClusterParams, DataParallelEngine
 from repro.offload.timing import HardwareParams
 from repro.offload.trainer import CommVolume, OffloadTrainer, TrainerMode
 
 __all__ = [
     "FlatArena",
     "StepBreakdown",
+    "ClusterEngine",
+    "ClusterStepResult",
+    "ClusterParams",
+    "DataParallelEngine",
     "HardwareParams",
     "MemoryModel",
     "MemoryBudget",

@@ -27,11 +27,19 @@ class StepBreakdown:
     grad_clip: float
     optimizer: float
     param_transfer_exposed: float
-    #: Total bytes that crossed the interconnect (both directions).
+    #: Total bytes that crossed the interconnect (both directions),
+    #: summed over *every* host link in the configuration.  A 4-GPU
+    #: data-parallel cluster has four CXL/PCIe attachments, so this is
+    #: 4x the per-link figure — comparable with the single-GPU engines'
+    #: accounting (where the two coincide).
     wire_bytes: float = 0.0
     #: Raw (unoverlapped) transfer time, for overhead-reduction accounting.
     grad_transfer_raw: float = 0.0
     param_transfer_raw: float = 0.0
+    #: Bytes that crossed *one* host link (one GPU's attachment).  0.0
+    #: means "not populated" (legacy construction); the engines always
+    #: fill it, and for single-link systems it equals ``wire_bytes``.
+    wire_bytes_per_link: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (

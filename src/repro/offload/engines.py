@@ -229,6 +229,7 @@ class ZeROOffloadEngine:
             optimizer=marks["adam_end"] - marks["clip_end"],
             param_transfer_exposed=param_exposed,
             wire_bytes=link.bytes_sent,
+            wire_bytes_per_link=link.bytes_sent,
             grad_transfer_raw=hw.pcie.effective_bandwidth.time_for(
                 spec.gradient_bytes
             ),
@@ -346,6 +347,7 @@ class TECOEngine:
             optimizer=marks["adam_end"] - marks["clip_end"],
             param_transfer_exposed=marks["params_on_gpu"] - marks["adam_end"],
             wire_bytes=wire.bytes_sent,
+            wire_bytes_per_link=wire.bytes_sent,
             grad_transfer_raw=hw.cxl.effective_bandwidth.time_for(grad_wire),
             param_transfer_raw=hw.cxl.effective_bandwidth.time_for(param_wire),
         )

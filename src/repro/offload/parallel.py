@@ -36,7 +36,80 @@ from repro.offload.timing import HardwareParams
 from repro.sim import SerialLink, Simulator
 from repro.utils.units import GB, Bandwidth
 
-__all__ = ["ClusterParams", "DataParallelEngine"]
+__all__ = ["ClusterParams", "DataParallelEngine", "dp_step_process"]
+
+
+def dp_step_process(
+    sim: Simulator,
+    *,
+    kind: SystemKind,
+    link,
+    marks: dict[str, float],
+    fwd: float,
+    bwd: float,
+    clip: float,
+    adam: float,
+    shard_bytes: float,
+    param_shard_bytes: float,
+    reduce_scatter: float,
+    all_gather: float,
+    dma_setup_latency: float,
+    dirty_bytes: int,
+):
+    """One data-parallel worker's step, as a simulation process.
+
+    The generator models the representative GPU of one ZeRO-sharded
+    data-parallel job: compute phases, ring-collective charges, and the
+    host-link traffic of its 1/n gradient/parameter shards.  ``link``
+    is anything :class:`~repro.sim.SerialLink`-shaped — a private host
+    attachment (:class:`DataParallelEngine`) or a shared multi-host
+    :class:`~repro.interconnect.fabric.FabricPort`
+    (:class:`~repro.offload.cluster.ClusterEngine`), which is how the
+    same step logic runs unmodified under pool contention.  Phase end
+    times are written into ``marks``.
+    """
+    yield sim.timeout(fwd)
+    marks["fwd_end"] = sim.now
+    if kind is SystemKind.ZERO_OFFLOAD:
+        yield sim.timeout(bwd)
+        marks["bwd_end"] = sim.now
+        # reduce-scatter, then each GPU's shard crosses its link.
+        yield sim.timeout(reduce_scatter)
+        yield link.transmit(shard_bytes, extra_delay=dma_setup_latency)
+        marks["grads_on_cpu"] = sim.now
+        yield sim.timeout(clip)
+        marks["clip_end"] = sim.now
+        yield sim.timeout(adam)
+        marks["adam_end"] = sim.now
+        yield link.transmit(param_shard_bytes, extra_delay=dma_setup_latency)
+        yield sim.timeout(all_gather)
+        marks["params_on_gpu"] = sim.now
+    else:
+        # TECO: shard gradients stream during backward (the ring
+        # reduce-scatter pipelines bucket-by-bucket with backward
+        # too; its residual tail is charged after backward).
+        per = bwd / STREAM_CHUNKS
+        shard_wire = _cxl_wire_volume(shard_bytes, 4)
+        transfers = []
+        for _ in range(STREAM_CHUNKS):
+            yield sim.timeout(per)
+            transfers.append(link.transmit(shard_wire / STREAM_CHUNKS))
+        marks["bwd_end"] = sim.now
+        yield sim.timeout(reduce_scatter / STREAM_CHUNKS)  # tail
+        yield sim.all_of(transfers)
+        marks["grads_on_cpu"] = sim.now
+        yield sim.timeout(clip)
+        marks["clip_end"] = sim.now
+        param_wire = _cxl_wire_volume(param_shard_bytes, dirty_bytes)
+        per = adam / STREAM_CHUNKS
+        transfers = []
+        for _ in range(STREAM_CHUNKS):
+            yield sim.timeout(per)
+            transfers.append(link.transmit(param_wire / STREAM_CHUNKS))
+        marks["adam_end"] = sim.now
+        yield sim.all_of(transfers)
+        yield sim.timeout(all_gather / STREAM_CHUNKS)  # tail
+        marks["params_on_gpu"] = sim.now
 
 
 @dataclass(frozen=True)
@@ -44,8 +117,14 @@ class ClusterParams:
     """Inter-GPU collective-communication parameters.
 
     ``collective_bandwidth`` is the per-GPU bus bandwidth available to
-    ring collectives (NVLink-class by default); a ring reduce-scatter or
-    all-gather of ``s`` bytes per GPU costs ``s * (n-1)/n`` bus bytes.
+    ring collectives (NVLink-class by default).  The ring algebra, made
+    explicit because an earlier docstring mixed the two conventions up:
+    a ring reduce-scatter or all-gather over a *full tensor* of ``S``
+    bytes moves ``S * (n-1)/n`` bytes through each GPU's bus port.
+    :meth:`ring_time` takes the **per-GPU shard** ``s = S/n`` (what the
+    ZeRO-sharded engines naturally hold) and therefore charges
+    ``s * (n-1)`` — the same quantity.  Use :meth:`ring_time_for_tensor`
+    when you hold the full tensor size instead.
     """
 
     n_gpus: int = 4
@@ -61,7 +140,12 @@ class ClusterParams:
             raise ValueError("collective_latency must be non-negative")
 
     def ring_time(self, shard_bytes_per_gpu: float) -> float:
-        """One ring collective (reduce-scatter or all-gather)."""
+        """One ring collective (reduce-scatter or all-gather).
+
+        ``shard_bytes_per_gpu`` is the **1/n shard** each GPU owns, not
+        the full tensor; per-GPU bus traffic is ``shard * (n-1)``
+        (equivalently ``S * (n-1)/n`` for the full tensor ``S``).
+        """
         if shard_bytes_per_gpu < 0:
             raise ValueError("bytes must be non-negative")
         if self.n_gpus == 1:
@@ -70,6 +154,17 @@ class ClusterParams:
         return self.collective_latency + self.collective_bandwidth.time_for(
             moved
         )
+
+    def ring_time_for_tensor(self, tensor_bytes: float) -> float:
+        """Ring collective over a **full tensor** of ``tensor_bytes``.
+
+        Convenience wrapper that derives the 1/n shard, so callers
+        holding unsharded sizes cannot accidentally over-charge the bus
+        by ``n``: ``ring_time_for_tensor(S) == ring_time(S / n)``.
+        """
+        if tensor_bytes < 0:
+            raise ValueError("bytes must be non-negative")
+        return self.ring_time(tensor_bytes / self.n_gpus)
 
 
 class DataParallelEngine:
@@ -132,66 +227,33 @@ class DataParallelEngine:
         host_link = SerialLink(sim, link_bw, name="host")
         marks: dict[str, float] = {}
 
-        def step(sim: Simulator):
-            yield sim.timeout(fwd)
-            marks["fwd_end"] = sim.now
-            if self.kind is SystemKind.ZERO_OFFLOAD:
-                yield sim.timeout(bwd)
-                marks["bwd_end"] = sim.now
-                # reduce-scatter, then each GPU's shard crosses its link.
-                yield sim.timeout(reduce_scatter)
-                yield host_link.transmit(
-                    shard_bytes, extra_delay=hw.pcie.dma_setup_latency
-                )
-                marks["grads_on_cpu"] = sim.now
-                yield sim.timeout(clip)
-                marks["clip_end"] = sim.now
-                yield sim.timeout(adam)
-                marks["adam_end"] = sim.now
-                yield host_link.transmit(
-                    spec.param_bytes / n,
-                    extra_delay=hw.pcie.dma_setup_latency,
-                )
-                yield sim.timeout(all_gather)
-                marks["params_on_gpu"] = sim.now
-            else:
-                # TECO: shard gradients stream during backward (the ring
-                # reduce-scatter pipelines bucket-by-bucket with backward
-                # too; its residual tail is charged after backward).
-                per = bwd / STREAM_CHUNKS
-                shard_wire = _cxl_wire_volume(shard_bytes, 4)
-                transfers = []
-                for _ in range(STREAM_CHUNKS):
-                    yield sim.timeout(per)
-                    transfers.append(
-                        host_link.transmit(shard_wire / STREAM_CHUNKS)
-                    )
-                marks["bwd_end"] = sim.now
-                yield sim.timeout(reduce_scatter / STREAM_CHUNKS)  # tail
-                yield sim.all_of(transfers)
-                marks["grads_on_cpu"] = sim.now
-                yield sim.timeout(clip)
-                marks["clip_end"] = sim.now
-                param_wire = _cxl_wire_volume(
-                    spec.param_bytes / n, self.dirty_bytes
-                )
-                per = adam / STREAM_CHUNKS
-                transfers = []
-                for _ in range(STREAM_CHUNKS):
-                    yield sim.timeout(per)
-                    transfers.append(
-                        host_link.transmit(param_wire / STREAM_CHUNKS)
-                    )
-                marks["adam_end"] = sim.now
-                yield sim.all_of(transfers)
-                yield sim.timeout(all_gather / STREAM_CHUNKS)  # tail
-                marks["params_on_gpu"] = sim.now
-
-        sim.process(step(sim))
+        sim.process(
+            dp_step_process(
+                sim,
+                kind=self.kind,
+                link=host_link,
+                marks=marks,
+                fwd=fwd,
+                bwd=bwd,
+                clip=clip,
+                adam=adam,
+                shard_bytes=shard_bytes,
+                param_shard_bytes=spec.param_bytes / n,
+                reduce_scatter=reduce_scatter,
+                all_gather=all_gather,
+                dma_setup_latency=hw.pcie.dma_setup_latency,
+                dirty_bytes=self.dirty_bytes,
+            )
+        )
         sim.run()
         _trace_phase_marks(
             sim, marks, system=f"{self.kind.value} x{n}"
         )
+        # host_link is *one* GPU's attachment; the cluster drives n of
+        # them.  wire_bytes is the aggregate cluster traffic (an earlier
+        # version reported the single link here, undercounting by n and
+        # making multi-GPU volumes incomparable with the single-GPU
+        # engines); per-link traffic is reported alongside.
         return StepBreakdown(
             forward=fwd,
             backward=marks["bwd_end"] - marks["fwd_end"],
@@ -199,5 +261,6 @@ class DataParallelEngine:
             grad_clip=clip,
             optimizer=marks["adam_end"] - marks["clip_end"],
             param_transfer_exposed=marks["params_on_gpu"] - marks["adam_end"],
-            wire_bytes=host_link.bytes_sent,
+            wire_bytes=host_link.bytes_sent * n,
+            wire_bytes_per_link=host_link.bytes_sent,
         )

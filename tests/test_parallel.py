@@ -22,6 +22,25 @@ class TestClusterParams:
         expected = 1e9 * 7 / c.collective_bandwidth.bytes_per_second
         assert t == pytest.approx(expected)
 
+    @pytest.mark.parametrize("n", [2, 3, 8, 17])
+    def test_ring_algebra_closed_form(self, n):
+        """``ring_time`` takes the 1/n *shard* and charges shard*(n-1);
+        ``ring_time_for_tensor`` takes the full tensor S and charges the
+        textbook S*(n-1)/n — the same bus bytes, two entry points."""
+        c = ClusterParams(n_gpus=n)
+        tensor = 3e9
+        shard = tensor / n
+        bw = c.collective_bandwidth.bytes_per_second
+        closed_form = c.collective_latency + tensor * (n - 1) / (n * bw)
+        assert c.ring_time(shard) == pytest.approx(closed_form, rel=1e-12)
+        assert c.ring_time_for_tensor(tensor) == pytest.approx(
+            c.ring_time(shard), rel=1e-12
+        )
+
+    def test_ring_time_for_tensor_validation(self):
+        with pytest.raises(ValueError):
+            ClusterParams().ring_time_for_tensor(-1)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ClusterParams(n_gpus=0)
@@ -68,11 +87,45 @@ class TestDataParallelEngine:
     def test_sharding_reduces_per_link_volume(self, bert):
         w1 = DataParallelEngine(
             SystemKind.TECO_REDUCTION, bert, 32, ClusterParams(n_gpus=1)
-        ).simulate_step().wire_bytes
+        ).simulate_step().wire_bytes_per_link
         w4 = DataParallelEngine(
             SystemKind.TECO_REDUCTION, bert, 32, ClusterParams(n_gpus=4)
-        ).simulate_step().wire_bytes
+        ).simulate_step().wire_bytes_per_link
         assert w4 == pytest.approx(w1 / 4, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            SystemKind.TECO_REDUCTION,
+            SystemKind.TECO_CXL,
+            SystemKind.ZERO_OFFLOAD,
+        ],
+    )
+    def test_wire_bytes_aggregate_over_all_links(self, bert, kind):
+        """Regression for the wire-byte accounting bug: ``wire_bytes``
+        once reported one GPU's link.  It must now be the cluster-wide
+        aggregate (n x per-link), invariant under sharding — and at
+        n=1 both fields collapse to the single-GPU engine's volume."""
+        from repro.offload import simulate_system
+
+        b1 = DataParallelEngine(
+            kind, bert, 32, ClusterParams(n_gpus=1)
+        ).simulate_step()
+        b4 = DataParallelEngine(
+            kind, bert, 32, ClusterParams(n_gpus=4)
+        ).simulate_step()
+        assert b4.wire_bytes == pytest.approx(
+            4 * b4.wire_bytes_per_link, rel=1e-12
+        )
+        # total cluster traffic is sharding-invariant
+        assert b4.wire_bytes == pytest.approx(b1.wire_bytes, rel=1e-9)
+        # n=1: aggregate == per-link == the single-GPU engine's volume
+        assert b1.wire_bytes == b1.wire_bytes_per_link
+        single = simulate_system(kind, bert, 32)
+        assert b1.wire_bytes == pytest.approx(single.wire_bytes, rel=1e-9)
+        assert single.wire_bytes == pytest.approx(
+            single.wire_bytes_per_link, rel=1e-12
+        )
 
     def test_batch_validation(self, bert):
         with pytest.raises(ValueError):
