@@ -150,6 +150,30 @@ def op_fabric_cluster_step():
     return _timed(run, 1)
 
 
+def op_infabric_reduce_8rank():
+    """In-fabric reduction of 8 rank streams over an 8-port fabric.
+
+    Exercises the FabricReducer DES hot path — per-rank port transmits,
+    switch hand-offs, the per-cell rank barrier, the reduce ALU, and the
+    single reduced pool crossing (one element = one full 8-rank
+    reduction of 8 MiB per rank).
+    """
+    from repro.interconnect.fabric import CXLFabric, FabricParams
+    from repro.sim import Simulator
+
+    n_bytes = 8 * 2**20
+
+    def run():
+        sim = Simulator()
+        fabric = CXLFabric(sim, FabricParams(n_ports=8, n_tenants=1))
+        reducer = fabric.reducer(ranks=range(8))
+        reducer.reduce(n_bytes)
+        sim.run()
+        assert reducer.bytes_out == n_bytes
+
+    return _timed(run, 1)
+
+
 def op_tracer_disabled_steps():
     """The instrumented DES hot path with observability OFF.
 
@@ -181,6 +205,7 @@ OPS = {
     "sweep_trace_64KiB_arena": op_sweep_trace,
     "headline_system_model": op_headline_system_model,
     "fabric_cluster_step_2x2": op_fabric_cluster_step,
+    "infabric_reduce_8rank": op_infabric_reduce_8rank,
     TRACER_OVERHEAD_OP: op_tracer_disabled_steps,
 }
 

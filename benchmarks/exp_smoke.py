@@ -18,7 +18,12 @@ Checks, in order:
    fabric sweep) is byte-identical cached vs fresh, its contention
    slowdown is monotone in tenants, and a 2-cell fabric sweep produces
    the same sweep hash under ``jobs=1`` and ``jobs=2``;
-5. **speedup** (informational, gated on CPU count) — on hosts with >= 4
+5. **aggregation** — a reduced ``fig_aggregation`` cell (in-fabric
+   reduction with low-bit wire formats) is byte-identical cached vs
+   fresh, its wire bytes order FP32 > FP16/BF16 > FP8/INT8-DBA, every
+   row reports a finite proxy perplexity, and a 2-cell sweep hashes the
+   same under ``jobs=1`` and ``jobs=2``;
+6. **speedup** (informational, gated on CPU count) — on hosts with >= 4
    usable CPUs a 4-cell sweep at ``--jobs 4`` must be >= 2x faster than
    ``--jobs 1``; on smaller hosts (this container has 1 CPU) the
    timings are printed but not enforced, since parallel speedup is
@@ -139,6 +144,55 @@ def check_fabric(cache_root: str) -> None:
           f"at 2 tenants, jobs-1 == jobs-2 (hash {serial.sweep_hash[:12]})")
 
 
+#: Reduced fig_aggregation cell: one rank count, one policy, all five
+#: wire formats, and a short finetune — exercises encode/decode, the
+#: FabricReducer, and the Pareto accounting end-to-end.
+_AGG_PARAMS = {
+    "ranks": [2],
+    "policies": ["fair"],
+    "n_steps": 12,
+}
+
+
+def check_aggregation(cache_root: str) -> None:
+    """fig_aggregation: cached == fresh, wire ordering, jobs-invariance."""
+    cache = ResultCache(root=os.path.join(cache_root, "aggregation"))
+    fresh = registry.run_experiment("fig_aggregation", _AGG_PARAMS, cache=cache)
+    cached = registry.run_experiment("fig_aggregation", _AGG_PARAMS, cache=cache)
+    assert cached.meta["cached"], (
+        "second fig_aggregation run did not hit the cache"
+    )
+    assert canonical_json(cached.rows) == canonical_json(fresh.rows), (
+        "cached fig_aggregation rows are not byte-identical to fresh rows"
+    )
+    assert cached.result_hash == fresh.result_hash
+    wire = {r["format"]: r["wire_gb"] for r in fresh.rows}
+    assert (
+        wire["fp32"] > wire["fp16"]
+        and wire["fp32"] > wire["bf16"]
+        and min(wire["fp16"], wire["bf16"]) > wire["fp8-e4m3"]
+        and min(wire["fp16"], wire["bf16"]) > wire["int8-dba"]
+    ), f"fig_aggregation wire bytes not ordered fp32 > 16-bit > 8-bit: {wire}"
+    import math
+
+    assert all(math.isfinite(r["perplexity"]) for r in fresh.rows), (
+        "fig_aggregation produced a non-finite proxy perplexity"
+    )
+    cells = [
+        SweepCell.make("fig_aggregation", _AGG_PARAMS, seed=s)
+        for s in (0, 1)
+    ]
+    serial = run_sweep(cells, jobs=1)
+    parallel = run_sweep(cells, jobs=2)
+    assert serial.failed == 0 and parallel.failed == 0
+    assert serial.sweep_hash == parallel.sweep_hash, (
+        "fig_aggregation sweep hashes disagree between jobs=1 and jobs=2"
+    )
+    print(f"aggregation: fig_aggregation cached == fresh, wire order ok "
+          f"(fp32 {wire['fp32']:.2f} GB -> int8 {wire['int8-dba']:.2f} GB), "
+          f"jobs-1 == jobs-2 (hash {serial.sweep_hash[:12]})")
+
+
 def check_speedup() -> None:
     """jobs=4 vs jobs=1 wall time; enforced only with enough CPUs."""
     serial = run_sweep(_cells(), jobs=1)
@@ -171,6 +225,7 @@ def main() -> int:
         check_cached_equals_fresh(cache_root)
         check_mini_sweep(cache_root)
         check_fabric(cache_root)
+        check_aggregation(cache_root)
         check_speedup()
     print(f"exp-smoke OK in {time.perf_counter() - t0:.1f}s")
     return 0

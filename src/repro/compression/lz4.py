@@ -135,7 +135,12 @@ def _emit_literal_run(out: bytearray, src: bytes, anchor: int, end: int) -> None
 
 def lz4_decompress(block: bytes) -> bytes:
     """Decompress an LZ4 block produced by :func:`lz4_compress` (or any
-    conforming encoder)."""
+    conforming encoder).
+
+    Every malformed input — invalid match offsets, and blocks truncated
+    anywhere (mid-literal-run, mid-offset, mid-extension-byte) — raises
+    :class:`ValueError`; no other exception type escapes.
+    """
     src = bytes(block)
     n = len(src)
     out = bytearray()
@@ -146,6 +151,8 @@ def lz4_decompress(block: bytes) -> bytes:
         lit_len = token >> 4
         if lit_len == 15:
             while True:
+                if i >= n:
+                    raise ValueError("truncated literal-length extension")
                 b = src[i]
                 i += 1
                 lit_len += b
@@ -158,6 +165,8 @@ def lz4_decompress(block: bytes) -> bytes:
             i += lit_len
         if i >= n:
             break  # last sequence carries no match
+        if i + 2 > n:
+            raise ValueError("truncated match offset")
         offset = src[i] | (src[i + 1] << 8)
         i += 2
         if offset == 0 or offset > len(out):
@@ -165,6 +174,8 @@ def lz4_decompress(block: bytes) -> bytes:
         match_len = token & 0x0F
         if match_len == 15:
             while True:
+                if i >= n:
+                    raise ValueError("truncated match-length extension")
                 b = src[i]
                 i += 1
                 match_len += b
@@ -178,12 +189,18 @@ def lz4_decompress(block: bytes) -> bytes:
 
 
 def compression_ratio(data: bytes) -> float:
-    """Fractional size reduction: ``1 - compressed/original`` (>= 0 means
-    it compressed; clamped at 0 for expansion)."""
+    """Fractional size reduction: ``1 - compressed/original``.
+
+    Positive means the payload compressed; **negative** means LZ4
+    *expanded* it (incompressible data pays the block-format framing
+    overhead).  An earlier version clamped expansion to 0.0, which hid
+    the real cost of incompressible payloads from pipeline/Pareto
+    accounting — callers now see the true (possibly negative) reduction.
+    """
     if len(data) == 0:
         return 0.0
     compressed = lz4_compress(data)
-    return max(0.0, 1.0 - len(compressed) / len(data))
+    return 1.0 - len(compressed) / len(data)
 
 
 def lz4_pipeline_time(
@@ -201,9 +218,13 @@ def lz4_pipeline_time(
     (tens of GB/s); the transfer moves the compressed bytes over PCIe.
     Compression dominates: "compression and decompression incur large
     performance overhead (at least 2x)".
+
+    ``ratio`` may be negative (expansion, see :func:`compression_ratio`):
+    the pipeline then honestly moves *more* than ``n_bytes`` compressed
+    bytes.  Ratios above 1 are impossible and rejected.
     """
-    if n_bytes < 0 or not 0 <= ratio <= 1:
-        raise ValueError("n_bytes >= 0 and ratio in [0, 1] required")
+    if n_bytes < 0 or ratio > 1:
+        raise ValueError("n_bytes >= 0 and ratio <= 1 required")
     if min(compress_bw, decompress_bw, link_bw) <= 0:
         raise ValueError("bandwidths must be positive")
     compressed = n_bytes * (1.0 - ratio)

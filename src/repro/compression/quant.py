@@ -39,8 +39,18 @@ class QuantizationResult:
 
 
 def quantize_int8(x: np.ndarray) -> QuantizationResult:
-    """Symmetric per-tensor INT8 quantization (127-level)."""
+    """Symmetric per-tensor INT8 quantization (127-level).
+
+    Non-finite inputs (NaN/Inf) raise :class:`ValueError`: an earlier
+    version silently derived a NaN/Inf scale from them, poisoning every
+    dequantized value downstream.  An all-zero tensor keeps ``scale=1.0``
+    so its dequantization is exactly zero.
+    """
     x = np.asarray(x, dtype=np.float32)
+    if x.size and not np.all(np.isfinite(x)):
+        raise ValueError(
+            "quantize_int8 requires finite input; got NaN/Inf values"
+        )
     peak = float(np.max(np.abs(x))) if x.size else 0.0
     scale = peak / 127.0 if peak > 0 else 1.0
     q = np.clip(np.round(x / scale), -127, 127).astype(np.int8)

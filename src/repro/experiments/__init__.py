@@ -33,6 +33,7 @@ from repro.experiments import ablation_seqlen
 from repro.experiments import ablations
 from repro.experiments import scaling
 from repro.experiments import fig_fabric
+from repro.experiments import fig_aggregation
 from repro.experiments import models_table
 from repro.experiments import ablation_dirty_bytes
 from repro.experiments import cost_model
@@ -64,6 +65,7 @@ __all__ = [
     "ablations",
     "scaling",
     "fig_fabric",
+    "fig_aggregation",
     "models_table",
     "ablation_dirty_bytes",
     "cost_model",

@@ -272,6 +272,7 @@ def finetune(
     checkpoint_path: str | os.PathLike | None = None,
     checkpoint_every: int | None = None,
     profile=None,
+    grad_transform=None,
 ) -> OffloadTrainer:
     """Fine-tune a fresh copy of the setup's checkpoint under ``mode``.
 
@@ -284,6 +285,10 @@ def finetune(
     ``profile`` (a :class:`repro.obs.Profile`) attaches the observability
     layer to the fine-tuning trainer: per-step phase spans and payload
     metrics are recorded without changing the computation.
+
+    ``grad_transform`` is forwarded to :class:`OffloadTrainer` — the
+    in-fabric aggregation experiments pass a wire-format round-trip so
+    accuracy reflects the gradient rounding of the chosen format.
     """
     model = setup.fresh_model(make_rng(seed))
     trainer = OffloadTrainer(
@@ -293,6 +298,7 @@ def finetune(
         policy=policy,
         tracer=None if profile is None else profile.tracer,
         metrics=None if profile is None else profile.metrics,
+        grad_transform=grad_transform,
     )
     batches = setup.train_batches
     start = 0

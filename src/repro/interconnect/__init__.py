@@ -12,8 +12,22 @@ These modules reproduce that emulation layer:
   streams cache lines serially.
 * :mod:`repro.interconnect.packets` — CXL.cache message/packet formats,
   including the reserved header bit that flags DBA-compressed payloads.
+* :mod:`repro.interconnect.fabric` — the multi-host memory-pool fabric
+  (port links, switch, partitioned pool).
+* :mod:`repro.interconnect.aggregation` — the in-fabric gradient
+  reduction stage and its low-bit wire formats.
 """
 
+from repro.interconnect.aggregation import (
+    EncodedTensor,
+    FabricReducer,
+    WireFormat,
+    aggregate_streams,
+    decode_tensor,
+    encode_tensor,
+    wire_bytes_for,
+    wire_roundtrip,
+)
 from repro.interconnect.cxl import CXLController, CXLLinkModel, CXL_EFFICIENCY
 from repro.interconnect.fabric import (
     CXLFabric,
@@ -41,6 +55,14 @@ __all__ = [
     "FabricPort",
     "FabricStats",
     "PartitionPolicy",
+    "WireFormat",
+    "EncodedTensor",
+    "encode_tensor",
+    "decode_tensor",
+    "wire_roundtrip",
+    "wire_bytes_for",
+    "aggregate_streams",
+    "FabricReducer",
     "MessageType",
     "CXLPacket",
     "CacheLinePayload",

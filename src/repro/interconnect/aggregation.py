@@ -1,0 +1,514 @@
+"""In-fabric gradient aggregation with low-bit wire formats.
+
+The paper's DBA module already places compute inside the CXL path;
+*NEURON-Fabric* (PAPERS.md) pushes this further: a reduction engine in
+the CXL fabric sums gradient streams from multiple data-parallel ranks
+*before* they reach the CPU, so reduced — not per-rank — bytes cross the
+memory-pool boundary, and the streams travel in low-bit wire formats.
+
+Two coupled layers live here:
+
+**Numerics** — :class:`WireFormat` and the :func:`encode_tensor` /
+:func:`decode_tensor` codec pair.  Every format round-trips through a
+real encode/decode (FP16 via IEEE half, BF16 by mantissa truncation,
+FP8-E4M3 through an exact 256-entry OCP codebook with round-to-nearest-
+even, INT8 through :func:`repro.compression.quant.quantize_int8` routed
+over the :class:`repro.dba.Aggregator` dirty-byte pack path), so the
+trainable proxies see the genuine rounding error of each wire format,
+not an idealized byte count.
+
+**Timing** — :class:`FabricReducer`, a discrete-event reduction stage
+attached to a :class:`~repro.interconnect.fabric.CXLFabric`.  Each rank
+streams its encoded cells through its port link and the shared switch;
+the reducer barriers per cell across ranks (emitting ``reduce-wait``
+spans for early arrivals), charges the reduce ALU (a
+:class:`~repro.sim.SerialLink` processing the summed inputs), and ships
+**one** reduced cell through the pool stage.  Byte and wait accounting
+threads through :class:`~repro.interconnect.fabric.FabricStats` and
+``sim.metrics``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.interconnect.fabric import (
+    MIN_CELL_BYTES,
+    CXLFabric,
+    _queued_stage_transmit,
+)
+from repro.sim import SerialLink, SimEvent
+from repro.utils.units import NS, Bandwidth
+
+__all__ = [
+    "WireFormat",
+    "EncodedTensor",
+    "encode_tensor",
+    "decode_tensor",
+    "wire_roundtrip",
+    "wire_bytes_for",
+    "aggregate_streams",
+    "FabricReducer",
+]
+
+#: Near-memory reduce-engine throughput over its *summed inputs* (an
+#: R-rank reduction of C cell bytes occupies the ALU for R*C bytes).
+DEFAULT_REDUCE_BANDWIDTH = 100e9
+
+#: Fixed per-cell latency of the reduce engine front-end.
+DEFAULT_REDUCE_LATENCY = 200 * NS
+
+#: FP8-E4M3 saturation bound (OCP spec: S.1111.110 = 448).
+FP8_E4M3_MAX = 448.0
+
+
+class WireFormat(enum.Enum):
+    """Gradient wire formats selectable per transfer.
+
+    ``FP32`` is lossless passthrough; ``FP16`` converts through IEEE
+    half precision (round-to-nearest-even); ``BF16`` truncates the FP32
+    mantissa to 7 bits; ``FP8_E4M3`` is the OCP 8-bit format (4 exponent
+    / 3 mantissa bits, saturating at ±448, NaN preserved); ``INT8_DBA``
+    is symmetric per-tensor INT8 quantization whose byte lanes ride the
+    DBA Aggregator's dirty-byte pack path (1 byte per word + one FP32
+    scale on the wire).
+    """
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+    BF16 = "bf16"
+    FP8_E4M3 = "fp8-e4m3"
+    INT8_DBA = "int8-dba"
+
+    @classmethod
+    def parse(cls, value: "WireFormat | str") -> "WireFormat":
+        """Accept an enum member or its string value (CLI/registry use)."""
+        if isinstance(value, cls):
+            return value
+        for member in cls:
+            if member.value == value:
+                return member
+        raise ValueError(
+            f"unknown wire format {value!r}; known: {[m.value for m in cls]}"
+        )
+
+    @property
+    def bytes_per_value(self) -> int:
+        """Payload bytes each FP32 value occupies on the wire."""
+        return _BYTES_PER_VALUE[self]
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Per-tensor side-channel bytes (the INT8 FP32 scale)."""
+        return 4 if self is WireFormat.INT8_DBA else 0
+
+    def wire_bytes(self, n_values: int) -> int:
+        """Total wire bytes for an ``n_values`` FP32 tensor."""
+        if n_values < 0:
+            raise ValueError("n_values must be non-negative")
+        return n_values * self.bytes_per_value + self.overhead_bytes
+
+
+_BYTES_PER_VALUE = {
+    WireFormat.FP32: 4,
+    WireFormat.FP16: 2,
+    WireFormat.BF16: 2,
+    WireFormat.FP8_E4M3: 1,
+    WireFormat.INT8_DBA: 1,
+}
+
+
+def wire_bytes_for(n_fp32_bytes: float, fmt: "WireFormat | str") -> float:
+    """Wire bytes for a tensor given its FP32 byte size (timing models)."""
+    fmt = WireFormat.parse(fmt)
+    if n_fp32_bytes < 0:
+        raise ValueError("n_fp32_bytes must be non-negative")
+    return n_fp32_bytes * (fmt.bytes_per_value / 4.0) + fmt.overhead_bytes
+
+
+# --- FP8-E4M3 codebook ----------------------------------------------------
+def _fp8_e4m3_decode_table() -> np.ndarray:
+    """FP32 value of every E4M3 code 0..255 (0x7F/0xFF decode to NaN)."""
+    codes = np.arange(256, dtype=np.uint32)
+    sign = np.where(codes >> 7, -1.0, 1.0).astype(np.float64)
+    e = ((codes >> 3) & 0xF).astype(np.int64)
+    m = (codes & 0x7).astype(np.float64)
+    vals = np.where(
+        e == 0,
+        m / 8.0 * 2.0**-6,  # subnormals (and ±0)
+        (1.0 + m / 8.0) * 2.0 ** (e - 7.0),
+    )
+    vals = sign * vals
+    vals[(codes & 0x7F) == 0x7F] = np.nan  # S.1111.111 is NaN
+    return vals.astype(np.float32)
+
+
+_FP8_TABLE = _fp8_e4m3_decode_table()
+#: Positive magnitudes of codes 0x00..0x7E, ascending (code == index).
+_FP8_POSITIVE = _FP8_TABLE[:127].astype(np.float64)
+
+
+def _fp8_encode(x: np.ndarray) -> np.ndarray:
+    """Vectorized FP32 -> E4M3 codes: round-to-nearest-even, saturating."""
+    x = np.asarray(x, dtype=np.float32)
+    flat = x.reshape(-1).astype(np.float64)
+    nan_mask = np.isnan(flat)
+    mag = np.clip(np.abs(np.where(nan_mask, 0.0, flat)), 0.0, FP8_E4M3_MAX)
+    # Bracket |x| between adjacent codebook magnitudes and pick the
+    # nearer one; exact midpoints go to the code with an even LSB.
+    hi = np.searchsorted(_FP8_POSITIVE, mag, side="left")
+    hi = np.clip(hi, 0, 126)
+    lo = np.maximum(hi - 1, 0)
+    d_lo = mag - _FP8_POSITIVE[lo]
+    d_hi = _FP8_POSITIVE[hi] - mag
+    pick_hi = (d_hi < d_lo) | ((d_hi == d_lo) & (hi % 2 == 0))
+    code = np.where(pick_hi, hi, lo).astype(np.uint8)
+    code = np.where(mag >= _FP8_POSITIVE[126], np.uint8(126), code)
+    sign_bit = (np.signbit(flat)).astype(np.uint8) << 7
+    code = code | sign_bit
+    code = np.where(nan_mask, np.uint8(0x7F), code)
+    return code.reshape(x.shape)
+
+
+@dataclass(frozen=True)
+class EncodedTensor:
+    """One tensor encoded for the wire.
+
+    ``payload`` is the exact byte-level wire image (dtype varies by
+    format); ``scale`` is the INT8 side channel; ``n_values`` the FP32
+    element count (needed to strip DBA line padding on decode).
+    """
+
+    fmt: WireFormat
+    payload: np.ndarray
+    n_values: int
+    shape: tuple[int, ...]
+    scale: float | None = None
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes this tensor occupies on the wire (padding excluded)."""
+        return self.fmt.wire_bytes(self.n_values)
+
+    def decode(self) -> np.ndarray:
+        """Reconstruct the FP32 tensor (lossy except FP32)."""
+        return decode_tensor(self)
+
+
+def encode_tensor(x: np.ndarray, fmt: "WireFormat | str") -> EncodedTensor:
+    """Encode an FP32 tensor into ``fmt``'s wire representation.
+
+    The encoding is numerically honest: decoding the returned payload
+    reproduces exactly the values the receiving end would see, rounding
+    error included.  ``INT8_DBA`` rejects non-finite input (the
+    quantizer's scale would be poisoned); the float formats handle
+    NaN/Inf natively (FP8 saturates infinities at ±448).
+    """
+    fmt = WireFormat.parse(fmt)
+    x = np.asarray(x, dtype=np.float32)
+    n = x.size
+    if fmt is WireFormat.FP32:
+        payload = x.copy().reshape(-1)
+    elif fmt is WireFormat.FP16:
+        payload = x.astype(np.float16).reshape(-1)
+    elif fmt is WireFormat.BF16:
+        # Truncate to the high 16 bits of the FP32 pattern (the classic
+        # chop-rounding BF16 cast); keep them as uint16 wire words.
+        payload = (
+            (np.ascontiguousarray(x).view(np.uint32) >> np.uint32(16))
+            .astype(np.uint16)
+            .reshape(-1)
+        )
+    elif fmt is WireFormat.FP8_E4M3:
+        payload = _fp8_encode(x).reshape(-1)
+    else:  # INT8_DBA
+        # Lazy imports: quant/dba sit above offload in the package DAG,
+        # and this module is re-exported from repro.interconnect, which
+        # they (indirectly) import at package-init time.
+        from repro.compression.quant import quantize_int8
+        from repro.dba.aggregator import Aggregator
+        from repro.dba.registers import DBARegister
+
+        q = quantize_int8(x.reshape(-1))
+        # Ride the Aggregator's dirty-byte path: widen each INT8 byte
+        # pattern into a word's low byte and pack with dirty_bytes=1 —
+        # the payload is exactly the INT8 byte lanes, produced by (and
+        # accounted through) the DBA pack hardware model.
+        agg = Aggregator(DBARegister(enabled=True, dirty_bytes=1))
+        words = q.values.view(np.uint8).astype(np.uint32).view(np.float32)
+        payload = agg.pack_tensor(words).reshape(-1)
+        return EncodedTensor(
+            fmt=fmt,
+            payload=payload,
+            n_values=n,
+            shape=x.shape,
+            scale=q.scale,
+        )
+    return EncodedTensor(fmt=fmt, payload=payload, n_values=n, shape=x.shape)
+
+
+def decode_tensor(enc: EncodedTensor) -> np.ndarray:
+    """Decode a wire payload back to FP32 (the receiver's view)."""
+    fmt = enc.fmt
+    if fmt is WireFormat.FP32:
+        out = enc.payload.astype(np.float32)
+    elif fmt is WireFormat.FP16:
+        out = enc.payload.astype(np.float32)
+    elif fmt is WireFormat.BF16:
+        out = (enc.payload.astype(np.uint32) << np.uint32(16)).view(np.float32)
+    elif fmt is WireFormat.FP8_E4M3:
+        out = _FP8_TABLE[enc.payload]
+    else:  # INT8_DBA — strip the DBA line padding, then dequantize.
+        from repro.compression.quant import (
+            QuantizationResult,
+            dequantize_int8,
+        )
+
+        raw = enc.payload.reshape(-1)[: enc.n_values].view(np.int8)
+        out = dequantize_int8(
+            QuantizationResult(values=raw, scale=float(enc.scale))
+        )
+    return out.reshape(enc.shape).astype(np.float32, copy=False)
+
+
+def wire_roundtrip(x: np.ndarray, fmt: "WireFormat | str") -> np.ndarray:
+    """``decode(encode(x))`` — the rounding a tensor suffers on the wire."""
+    return decode_tensor(encode_tensor(x, fmt))
+
+
+def aggregate_streams(
+    streams: list[np.ndarray], fmt: "WireFormat | str"
+) -> tuple[np.ndarray, dict]:
+    """Sum per-rank gradient streams as the in-fabric reducer would.
+
+    Each rank's stream is encoded into ``fmt``, decoded at the reducer
+    (so each carries its own rounding error), and summed in FP32.
+    Returns the reduced tensor and a wire accounting dict:
+    ``in_bytes`` (sum of per-rank encoded bytes entering the fabric) and
+    ``out_bytes`` (the single reduced stream crossing the pool boundary,
+    re-encoded in the same format).
+    """
+    if not streams:
+        raise ValueError("aggregate_streams needs at least one stream")
+    fmt = WireFormat.parse(fmt)
+    shape = np.asarray(streams[0]).shape
+    total = np.zeros(shape, dtype=np.float32)
+    in_bytes = 0
+    for s in streams:
+        s = np.asarray(s, dtype=np.float32)
+        if s.shape != shape:
+            raise ValueError("all streams must share one shape")
+        enc = encode_tensor(s, fmt)
+        in_bytes += enc.wire_bytes
+        total += enc.decode()
+    out_bytes = fmt.wire_bytes(int(np.prod(shape, dtype=np.int64)))
+    return total, {
+        "format": fmt.value,
+        "n_streams": len(streams),
+        "in_bytes": in_bytes,
+        "out_bytes": out_bytes,
+    }
+
+
+class FabricReducer:
+    """Discrete-event in-fabric reduction stage on a :class:`CXLFabric`.
+
+    One reducer represents the aggregation engine serving one tenant's
+    data-parallel job: ``ranks`` names the fabric port each gradient
+    stream enters through (several ranks may share a port — GPUs behind
+    one node attachment — in which case their cells serialize on it).
+
+    :meth:`reduce` runs one reduction: every rank streams
+    ``n_bytes_per_rank`` encoded bytes through its port link and the
+    shared switch stage; the reducer barriers cell-by-cell across ranks,
+    occupies the reduce ALU for the summed input bytes, and transmits a
+    single reduced cell through the tenant's pool link — so the pool
+    boundary carries ``n_bytes_per_rank`` total instead of
+    ``len(ranks) * n_bytes_per_rank``.
+    """
+
+    def __init__(
+        self,
+        fabric: CXLFabric,
+        ranks,
+        *,
+        tenant: int = 0,
+        reduce_bandwidth: float = DEFAULT_REDUCE_BANDWIDTH,
+        reduce_latency: float = DEFAULT_REDUCE_LATENCY,
+        name: str | None = None,
+    ):
+        self.fabric = fabric
+        self.ranks = [int(r) for r in ranks]
+        if not self.ranks:
+            raise ValueError("FabricReducer needs at least one rank")
+        for r in self.ranks:
+            if not 0 <= r < fabric.params.n_ports:
+                raise ValueError(
+                    f"rank port {r} out of range (fabric has "
+                    f"{fabric.params.n_ports} ports)"
+                )
+        if not 0 <= tenant < fabric.params.n_tenants:
+            raise ValueError(
+                f"tenant {tenant} out of range (fabric has "
+                f"{fabric.params.n_tenants} tenants)"
+            )
+        self.tenant = tenant
+        self.name = name or f"{fabric.name}-reduce-t{tenant}"
+        #: The reduce ALU: a serialized engine whose occupancy per cell
+        #: is the *summed* input bytes of all ranks.
+        self.alu = SerialLink(
+            fabric.sim,
+            Bandwidth(reduce_bandwidth),
+            latency=reduce_latency,
+            name=f"{self.name}-alu",
+        )
+        #: Per-rank encoded bytes this reducer has consumed.
+        self.bytes_in = 0.0
+        #: Reduced bytes this reducer pushed across the pool boundary.
+        self.bytes_out = 0.0
+
+    @property
+    def n_ranks(self) -> int:
+        """Gradient streams summed per reduction."""
+        return len(self.ranks)
+
+    def reduce(
+        self, n_bytes_per_rank: float, extra_delay: float = 0.0
+    ) -> SimEvent:
+        """Reduce one ``n_bytes_per_rank`` stream from every rank.
+
+        Returns the delivery event: it fires when the last reduced cell
+        leaves the pool stage.  ``extra_delay`` is charged once per rank
+        ahead of its first cell (DMA setup / encode front-end).
+        """
+        if n_bytes_per_rank < 0:
+            raise ValueError("n_bytes_per_rank must be non-negative")
+        fabric = self.fabric
+        sim = fabric.sim
+        stats = fabric.stats
+        R = self.n_ranks
+
+        in_bytes = n_bytes_per_rank * R
+        self.bytes_in += in_bytes
+        stats.tenant_reduce_in_bytes[self.tenant] = (
+            stats.tenant_reduce_in_bytes.get(self.tenant, 0.0) + in_bytes
+        )
+        for port in self.ranks:
+            stats._account_bytes(port, self.tenant, n_bytes_per_rank)
+        mx = sim.metrics
+        if mx.enabled:
+            mx.counter(f"{fabric.name}.reduce.in_bytes").inc(in_bytes)
+            mx.counter(f"{fabric.name}.tenant{self.tenant}.bytes").inc(
+                in_bytes
+            )
+
+        cells = fabric.params.cells_per_transfer
+        if n_bytes_per_rank <= MIN_CELL_BYTES or cells == 1:
+            cell_sizes = [n_bytes_per_rank]
+        else:
+            cell_sizes = [n_bytes_per_rank / cells] * cells
+        done = sim.event()
+        remaining = len(cell_sizes)
+
+        def pool_done(_ev: SimEvent) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                done.succeed(n_bytes_per_rank)
+
+        for i, cell in enumerate(cell_sizes):
+            state = {"arrived": 0, "first": None}
+            for port in self.ranks:
+                port_ev = fabric.port_links[port].transmit(
+                    cell, extra_delay=extra_delay if i == 0 else 0.0
+                )
+                port_ev.callbacks.append(
+                    lambda _ev, c=cell, p=port, s=state: self._enter_switch(
+                        c, p, s, pool_done
+                    )
+                )
+        return done
+
+    # -- stage hand-offs (event callbacks at stage-exit times) -------------
+    def _enter_switch(self, cell: float, port: int, state, pool_done) -> None:
+        fabric = self.fabric
+        ev = _queued_stage_transmit(
+            fabric,
+            fabric.switch_link,
+            cell,
+            tenant=self.tenant,
+            port=port,
+            wait_stats=fabric.stats.tenant_switch_wait,
+            span_name="switch-queue",
+            track=f"{fabric.name}-switch",
+        )
+        ev.callbacks.append(
+            lambda _ev: self._arrive_at_reducer(cell, port, state, pool_done)
+        )
+
+    def _arrive_at_reducer(
+        self, cell: float, port: int, state, pool_done
+    ) -> None:
+        fabric = self.fabric
+        sim = fabric.sim
+        now = sim.now
+        if state["first"] is None:
+            state["first"] = now
+        state["arrived"] += 1
+        if state["arrived"] < self.n_ranks:
+            return
+        # Last rank's cell is in: early arrivals waited for it.
+        wait = now - state["first"]
+        if wait > 0.0:
+            stats = fabric.stats.tenant_reduce_wait
+            stats[self.tenant] = stats.get(self.tenant, 0.0) + wait
+            if sim.tracer.enabled:
+                sim.tracer.add_span(
+                    state["first"],
+                    now,
+                    "reduce-wait",
+                    "fabric",
+                    track=self.name,
+                    tenant=self.tenant,
+                    bytes=cell,
+                )
+        # The ALU sweeps the summed inputs of this cell.
+        ev = self.alu.transmit(cell * self.n_ranks)
+        if sim.tracer.enabled:
+            sim.tracer.add_span(
+                now,
+                now + self.alu.bandwidth.time_for(cell * self.n_ranks),
+                "fabric-reduce",
+                "fabric",
+                track=self.name,
+                tenant=self.tenant,
+                bytes=cell,
+                ranks=self.n_ranks,
+            )
+        ev.callbacks.append(lambda _ev: self._enter_pool(cell, pool_done))
+
+    def _enter_pool(self, cell: float, pool_done) -> None:
+        fabric = self.fabric
+        stats = fabric.stats
+        self.bytes_out += cell
+        stats.tenant_reduce_out_bytes[self.tenant] = (
+            stats.tenant_reduce_out_bytes.get(self.tenant, 0.0) + cell
+        )
+        mx = fabric.sim.metrics
+        if mx.enabled:
+            mx.counter(f"{fabric.name}.reduce.out_bytes").inc(cell)
+        pool = fabric.pool_link_for(self.tenant)
+        ev = _queued_stage_transmit(
+            fabric,
+            pool,
+            cell,
+            tenant=self.tenant,
+            port=-1,  # reduced cells no longer belong to one port
+            wait_stats=stats.tenant_pool_wait,
+            span_name="pool-queue",
+            track=pool.name,
+        )
+        ev.callbacks.append(pool_done)

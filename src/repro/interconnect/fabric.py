@@ -66,6 +66,42 @@ DEFAULT_CELLS_PER_TRANSFER = 32
 MIN_CELL_BYTES = 4096
 
 
+def _queued_stage_transmit(
+    fabric: "CXLFabric",
+    link: SerialLink,
+    cell: float,
+    *,
+    tenant: int,
+    port: int,
+    wait_stats: dict[int, float],
+    span_name: str,
+    track: str,
+) -> SimEvent:
+    """Send one cell through a fabric stage, accounting queueing.
+
+    If the stage wire is busy on arrival the wait is charged to
+    ``wait_stats[tenant]`` and (when tracing) emitted as a ``span_name``
+    span in category ``fabric`` — the shared bookkeeping behind both
+    plain :class:`FabricPort` transfers and the in-fabric reduce path.
+    """
+    sim = fabric.sim
+    wait = max(0.0, link.free_at - sim.now)
+    if wait > 0.0:
+        wait_stats[tenant] = wait_stats.get(tenant, 0.0) + wait
+        if sim.tracer.enabled:
+            sim.tracer.add_span(
+                sim.now,
+                sim.now + wait,
+                span_name,
+                "fabric",
+                track=track,
+                tenant=tenant,
+                port=port,
+                bytes=cell,
+            )
+    return link.transmit(cell)
+
+
 class PartitionPolicy(enum.Enum):
     """How pool bandwidth is divided across tenants."""
 
@@ -191,12 +227,22 @@ class FabricStats:
     ``*_wait`` totals are queueing seconds accumulated by cells that
     found the stage wire busy on arrival — the fabric's contention
     breakdown (zero on an unloaded fabric).
+
+    The ``reduce_*`` fields account the in-fabric aggregation stage
+    (:class:`repro.interconnect.aggregation.FabricReducer`): per-rank
+    encoded bytes entering the reducer, reduced bytes leaving it across
+    the pool boundary, and seconds rank streams spent waiting for their
+    peers' matching cells to arrive.  All stay zero when no reducer is
+    attached.
     """
 
     port_bytes: dict[int, float] = field(default_factory=dict)
     tenant_bytes: dict[int, float] = field(default_factory=dict)
     tenant_switch_wait: dict[int, float] = field(default_factory=dict)
     tenant_pool_wait: dict[int, float] = field(default_factory=dict)
+    tenant_reduce_in_bytes: dict[int, float] = field(default_factory=dict)
+    tenant_reduce_out_bytes: dict[int, float] = field(default_factory=dict)
+    tenant_reduce_wait: dict[int, float] = field(default_factory=dict)
 
     def _account_bytes(self, port: int, tenant: int, n_bytes: float) -> None:
         self.port_bytes[port] = self.port_bytes.get(port, 0.0) + n_bytes
@@ -217,6 +263,21 @@ class FabricStats:
         """Total pool queueing seconds across tenants."""
         return sum(self.tenant_pool_wait.values())
 
+    @property
+    def reduce_in_bytes(self) -> float:
+        """Per-rank encoded bytes that entered the reduce stage."""
+        return sum(self.tenant_reduce_in_bytes.values())
+
+    @property
+    def reduce_out_bytes(self) -> float:
+        """Reduced bytes that crossed the pool boundary."""
+        return sum(self.tenant_reduce_out_bytes.values())
+
+    @property
+    def reduce_wait(self) -> float:
+        """Seconds rank streams waited for peer cells at the reducer."""
+        return sum(self.tenant_reduce_wait.values())
+
     def snapshot(self) -> dict:
         """JSON-ready copy (row material for experiments)."""
         return {
@@ -230,8 +291,22 @@ class FabricStats:
             "tenant_pool_wait": {
                 str(k): v for k, v in sorted(self.tenant_pool_wait.items())
             },
+            "tenant_reduce_in_bytes": {
+                str(k): v
+                for k, v in sorted(self.tenant_reduce_in_bytes.items())
+            },
+            "tenant_reduce_out_bytes": {
+                str(k): v
+                for k, v in sorted(self.tenant_reduce_out_bytes.items())
+            },
+            "tenant_reduce_wait": {
+                str(k): v for k, v in sorted(self.tenant_reduce_wait.items())
+            },
             "switch_wait": self.switch_wait,
             "pool_wait": self.pool_wait,
+            "reduce_in_bytes": self.reduce_in_bytes,
+            "reduce_out_bytes": self.reduce_out_bytes,
+            "reduce_wait": self.reduce_wait,
             "total_bytes": self.total_bytes,
         }
 
@@ -314,46 +389,31 @@ class FabricPort:
     # -- stage hand-offs (run as event callbacks at stage-exit times) ------
     def _enter_switch(self, cell: float, pool_done) -> None:
         fabric = self.fabric
-        sim = fabric.sim
-        switch = fabric.switch_link
-        wait = max(0.0, switch.free_at - sim.now)
-        if wait > 0.0:
-            stats = fabric.stats.tenant_switch_wait
-            stats[self.tenant] = stats.get(self.tenant, 0.0) + wait
-            if sim.tracer.enabled:
-                sim.tracer.add_span(
-                    sim.now,
-                    sim.now + wait,
-                    "switch-queue",
-                    "fabric",
-                    track=f"{fabric.name}-switch",
-                    tenant=self.tenant,
-                    port=self.port_index,
-                    bytes=cell,
-                )
-        ev = switch.transmit(cell)
+        ev = _queued_stage_transmit(
+            fabric,
+            fabric.switch_link,
+            cell,
+            tenant=self.tenant,
+            port=self.port_index,
+            wait_stats=fabric.stats.tenant_switch_wait,
+            span_name="switch-queue",
+            track=f"{fabric.name}-switch",
+        )
         ev.callbacks.append(lambda _ev: self._enter_pool(cell, pool_done))
 
     def _enter_pool(self, cell: float, pool_done) -> None:
         fabric = self.fabric
-        sim = fabric.sim
         pool = fabric.pool_link_for(self.tenant)
-        wait = max(0.0, pool.free_at - sim.now)
-        if wait > 0.0:
-            stats = fabric.stats.tenant_pool_wait
-            stats[self.tenant] = stats.get(self.tenant, 0.0) + wait
-            if sim.tracer.enabled:
-                sim.tracer.add_span(
-                    sim.now,
-                    sim.now + wait,
-                    "pool-queue",
-                    "fabric",
-                    track=pool.name,
-                    tenant=self.tenant,
-                    port=self.port_index,
-                    bytes=cell,
-                )
-        ev = pool.transmit(cell)
+        ev = _queued_stage_transmit(
+            fabric,
+            pool,
+            cell,
+            tenant=self.tenant,
+            port=self.port_index,
+            wait_stats=fabric.stats.tenant_pool_wait,
+            span_name="pool-queue",
+            track=pool.name,
+        )
         ev.callbacks.append(pool_done)
 
 
@@ -439,3 +499,17 @@ class CXLFabric:
     def pool_links(self) -> list[SerialLink]:
         """All pool-stage links (one, or one per tenant)."""
         return list(self._pool_links)
+
+    def reducer(self, ranks, tenant: int = 0, **kwargs):
+        """An in-fabric reduction stage over ``ranks`` port indices.
+
+        Convenience constructor for
+        :class:`repro.interconnect.aggregation.FabricReducer` (imported
+        lazily — aggregation depends on this module)::
+
+            red = fabric.reducer(ranks=range(4), tenant=0)
+            yield red.reduce(encoded_bytes_per_rank)
+        """
+        from repro.interconnect.aggregation import FabricReducer
+
+        return FabricReducer(self, ranks, tenant=tenant, **kwargs)

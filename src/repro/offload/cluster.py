@@ -52,6 +52,15 @@ class ClusterStepResult:
     tenant_switch_wait: tuple[float, ...]
     #: Pool queueing seconds per tenant.
     tenant_pool_wait: tuple[float, ...]
+    #: Per-rank encoded bytes each tenant streamed into the in-fabric
+    #: reducer (empty when ``reduce_in_fabric`` is off).
+    tenant_reduce_in_bytes: tuple[float, ...] = ()
+    #: Reduced bytes each tenant's reducer pushed across the pool
+    #: boundary (empty when ``reduce_in_fabric`` is off).
+    tenant_reduce_out_bytes: tuple[float, ...] = ()
+    #: Seconds each tenant's rank streams waited for peer cells at the
+    #: reducer barrier (empty when ``reduce_in_fabric`` is off).
+    tenant_reduce_wait: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -87,6 +96,16 @@ class ClusterStepResult:
         """Payload bytes that entered the fabric (all tenants)."""
         return sum(self.tenant_bytes)
 
+    @property
+    def reduce_in_bytes(self) -> float:
+        """Encoded bytes that entered the reduce stage (all tenants)."""
+        return sum(self.tenant_reduce_in_bytes)
+
+    @property
+    def reduce_out_bytes(self) -> float:
+        """Reduced bytes that crossed the pool boundary (all tenants)."""
+        return sum(self.tenant_reduce_out_bytes)
+
 
 class ClusterEngine:
     """``M`` concurrent ZeRO-sharded jobs over one shared CXL fabric.
@@ -120,6 +139,19 @@ class ClusterEngine:
         Full :class:`FabricParams` override; when given, ``n_hosts`` /
         ``n_tenants`` / ``policy`` / ``tenant_weights`` must agree with
         it (they are ignored in favour of the explicit params).
+    reduce_in_fabric
+        When true, every tenant's gradient direction runs through its
+        own :class:`~repro.interconnect.aggregation.FabricReducer` —
+        its ``n_gpus`` ranks (spread round-robin over the fabric ports
+        starting at the tenant's own port) each stream the full encoded
+        gradient into the fabric, and one reduced stream crosses the
+        tenant's pool partition.  Ring-allreduce time disappears from
+        the step.  Off by default; the disabled path is bit-identical
+        to the pre-aggregation engine (regression-tested).
+    grad_wire_format
+        Wire format gradients travel in under ``reduce_in_fabric``
+        (:class:`~repro.interconnect.aggregation.WireFormat` or its
+        string value).
     """
 
     def __init__(
@@ -138,7 +170,13 @@ class ClusterEngine:
         dirty_bytes: int = 2,
         tracer=None,
         metrics=None,
+        reduce_in_fabric: bool = False,
+        grad_wire_format="fp32",
     ):
+        from repro.interconnect.aggregation import WireFormat
+
+        self.reduce_in_fabric = reduce_in_fabric
+        self.grad_wire_format = WireFormat.parse(grad_wire_format)
         self.kind = kind
         self.spec = spec
         self.cluster = cluster or ClusterParams()
@@ -201,6 +239,25 @@ class ClusterEngine:
         fabric = CXLFabric(sim, params)
         ports = tuple(t % params.n_ports for t in range(params.n_tenants))
         links = [fabric.port(ports[t], tenant=t) for t in range(params.n_tenants)]
+        reducers = None
+        grad_reduce_bytes = 0.0
+        if self.reduce_in_fabric:
+            from repro.interconnect.aggregation import wire_bytes_for
+
+            # Each tenant's n_gpus ranks spread round-robin over the
+            # fabric ports, starting at the tenant's own port.
+            reducers = [
+                fabric.reducer(
+                    ranks=[
+                        (ports[t] + r) % params.n_ports for r in range(n)
+                    ],
+                    tenant=t,
+                )
+                for t in range(params.n_tenants)
+            ]
+            grad_reduce_bytes = wire_bytes_for(
+                spec.gradient_bytes, self.grad_wire_format
+            )
         all_marks: list[dict[str, float]] = []
         for t, link in enumerate(links):
             marks: dict[str, float] = {}
@@ -221,6 +278,10 @@ class ClusterEngine:
                     all_gather=all_gather,
                     dma_setup_latency=hw.pcie.dma_setup_latency,
                     dirty_bytes=self.dirty_bytes,
+                    grad_reduce=(
+                        reducers[t].reduce if reducers is not None else None
+                    ),
+                    grad_reduce_bytes=grad_reduce_bytes,
                 ),
                 name=f"tenant{t}-step",
             )
@@ -234,6 +295,10 @@ class ClusterEngine:
                 marks,
                 system=f"{self.kind.value} x{n} tenant{t}",
             )
+            # Under reduce_in_fabric the gradient direction is the
+            # tenant's reducer intake (n encoded full gradients), not
+            # host-link shard traffic.
+            grad_wire = reducers[t].bytes_in if reducers is not None else 0.0
             breakdowns.append(
                 StepBreakdown(
                     forward=fwd,
@@ -246,11 +311,26 @@ class ClusterEngine:
                     param_transfer_exposed=(
                         marks["params_on_gpu"] - marks["adam_end"]
                     ),
-                    wire_bytes=link.bytes_sent * n,
-                    wire_bytes_per_link=link.bytes_sent,
+                    wire_bytes=link.bytes_sent * n + grad_wire,
+                    wire_bytes_per_link=link.bytes_sent + grad_wire / n,
                 )
             )
         m = params.n_tenants
+        reduce_kwargs = {}
+        if reducers is not None:
+            reduce_kwargs = {
+                "tenant_reduce_in_bytes": tuple(
+                    stats.tenant_reduce_in_bytes.get(t, 0.0)
+                    for t in range(m)
+                ),
+                "tenant_reduce_out_bytes": tuple(
+                    stats.tenant_reduce_out_bytes.get(t, 0.0)
+                    for t in range(m)
+                ),
+                "tenant_reduce_wait": tuple(
+                    stats.tenant_reduce_wait.get(t, 0.0) for t in range(m)
+                ),
+            }
         return ClusterStepResult(
             tenants=tuple(breakdowns),
             ports=ports,
@@ -266,4 +346,5 @@ class ClusterEngine:
             tenant_pool_wait=tuple(
                 stats.tenant_pool_wait.get(t, 0.0) for t in range(m)
             ),
+            **reduce_kwargs,
         )

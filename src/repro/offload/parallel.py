@@ -55,6 +55,8 @@ def dp_step_process(
     all_gather: float,
     dma_setup_latency: float,
     dirty_bytes: int,
+    grad_reduce=None,
+    grad_reduce_bytes: float = 0.0,
 ):
     """One data-parallel worker's step, as a simulation process.
 
@@ -67,15 +69,31 @@ def dp_step_process(
     (:class:`~repro.offload.cluster.ClusterEngine`), which is how the
     same step logic runs unmodified under pool contention.  Phase end
     times are written into ``marks``.
+
+    When ``grad_reduce`` is set (the ``reduce_in_fabric`` mode), the
+    gradient direction bypasses both the ring reduce-scatter and the
+    per-shard host-link transfer: every rank instead streams its **full
+    encoded gradient** (``grad_reduce_bytes`` per rank, sized by the
+    wire format) into the in-fabric reduction stage — a callable
+    ``(n_bytes_per_rank, extra_delay) -> SimEvent``, normally
+    :meth:`repro.interconnect.aggregation.FabricReducer.reduce` — and
+    only the reduced stream crosses the pool boundary.  The parameter
+    direction (host link + all-gather) is unchanged.  With
+    ``grad_reduce=None`` (the default) the process is bit-identical to
+    its pre-aggregation behavior.
     """
     yield sim.timeout(fwd)
     marks["fwd_end"] = sim.now
     if kind is SystemKind.ZERO_OFFLOAD:
         yield sim.timeout(bwd)
         marks["bwd_end"] = sim.now
-        # reduce-scatter, then each GPU's shard crosses its link.
-        yield sim.timeout(reduce_scatter)
-        yield link.transmit(shard_bytes, extra_delay=dma_setup_latency)
+        if grad_reduce is not None:
+            # In-fabric aggregation replaces ring + per-shard transfer.
+            yield grad_reduce(grad_reduce_bytes, dma_setup_latency)
+        else:
+            # reduce-scatter, then each GPU's shard crosses its link.
+            yield sim.timeout(reduce_scatter)
+            yield link.transmit(shard_bytes, extra_delay=dma_setup_latency)
         marks["grads_on_cpu"] = sim.now
         yield sim.timeout(clip)
         marks["clip_end"] = sim.now
@@ -89,14 +107,29 @@ def dp_step_process(
         # reduce-scatter pipelines bucket-by-bucket with backward
         # too; its residual tail is charged after backward).
         per = bwd / STREAM_CHUNKS
-        shard_wire = _cxl_wire_volume(shard_bytes, 4)
         transfers = []
-        for _ in range(STREAM_CHUNKS):
-            yield sim.timeout(per)
-            transfers.append(link.transmit(shard_wire / STREAM_CHUNKS))
-        marks["bwd_end"] = sim.now
-        yield sim.timeout(reduce_scatter / STREAM_CHUNKS)  # tail
-        yield sim.all_of(transfers)
+        if grad_reduce is not None:
+            # Encoded full-gradient chunks stream straight into the
+            # in-fabric reducer during backward; there is no ring, so
+            # no reduce-scatter tail either.
+            for i in range(STREAM_CHUNKS):
+                yield sim.timeout(per)
+                transfers.append(
+                    grad_reduce(
+                        grad_reduce_bytes / STREAM_CHUNKS,
+                        dma_setup_latency if i == 0 else 0.0,
+                    )
+                )
+            marks["bwd_end"] = sim.now
+            yield sim.all_of(transfers)
+        else:
+            shard_wire = _cxl_wire_volume(shard_bytes, 4)
+            for _ in range(STREAM_CHUNKS):
+                yield sim.timeout(per)
+                transfers.append(link.transmit(shard_wire / STREAM_CHUNKS))
+            marks["bwd_end"] = sim.now
+            yield sim.timeout(reduce_scatter / STREAM_CHUNKS)  # tail
+            yield sim.all_of(transfers)
         marks["grads_on_cpu"] = sim.now
         yield sim.timeout(clip)
         marks["clip_end"] = sim.now
@@ -174,6 +207,14 @@ class DataParallelEngine:
     per-GPU (one CXL/PCIe attachment each), and the CPU-side optimizer
     work parallelizes over shards (its memory bandwidth is shared, so the
     sweep time stays that of the full parameter set).
+
+    With ``reduce_in_fabric=True`` the gradient direction runs through a
+    private in-fabric reduction stage instead of the ring: every GPU
+    streams its full gradient — encoded in ``grad_wire_format`` — into a
+    :class:`~repro.interconnect.aggregation.FabricReducer` over a
+    one-port-per-GPU :class:`~repro.interconnect.fabric.CXLFabric`, and
+    a single reduced stream crosses the pool boundary.  The parameter
+    direction (host link + all-gather) is unchanged.
     """
 
     def __init__(
@@ -186,7 +227,11 @@ class DataParallelEngine:
         dirty_bytes: int = 2,
         tracer=None,
         metrics=None,
+        reduce_in_fabric: bool = False,
+        grad_wire_format="fp32",
     ):
+        from repro.interconnect.aggregation import WireFormat
+
         self.kind = kind
         self.tracer = tracer
         self.metrics = metrics
@@ -201,6 +246,8 @@ class DataParallelEngine:
         self.dirty_bytes = (
             dirty_bytes if kind is SystemKind.TECO_REDUCTION else 4
         )
+        self.reduce_in_fabric = reduce_in_fabric
+        self.grad_wire_format = WireFormat.parse(grad_wire_format)
 
     @property
     def micro_batch(self) -> int:
@@ -227,6 +274,29 @@ class DataParallelEngine:
         host_link = SerialLink(sim, link_bw, name="host")
         marks: dict[str, float] = {}
 
+        grad_reduce = None
+        grad_reduce_bytes = 0.0
+        reducer = None
+        if self.reduce_in_fabric:
+            from repro.interconnect.aggregation import wire_bytes_for
+            from repro.interconnect.fabric import CXLFabric, FabricParams
+
+            fabric = CXLFabric(
+                sim,
+                FabricParams(
+                    n_ports=n,
+                    n_tenants=1,
+                    port_bandwidth=link_bw,
+                    port_latency=0.0,
+                ),
+                name="dp-fabric",
+            )
+            reducer = fabric.reducer(ranks=range(n))
+            grad_reduce = reducer.reduce
+            grad_reduce_bytes = wire_bytes_for(
+                spec.gradient_bytes, self.grad_wire_format
+            )
+
         sim.process(
             dp_step_process(
                 sim,
@@ -243,6 +313,8 @@ class DataParallelEngine:
                 all_gather=all_gather,
                 dma_setup_latency=hw.pcie.dma_setup_latency,
                 dirty_bytes=self.dirty_bytes,
+                grad_reduce=grad_reduce,
+                grad_reduce_bytes=grad_reduce_bytes,
             )
         )
         sim.run()
@@ -253,7 +325,11 @@ class DataParallelEngine:
         # them.  wire_bytes is the aggregate cluster traffic (an earlier
         # version reported the single link here, undercounting by n and
         # making multi-GPU volumes incomparable with the single-GPU
-        # engines); per-link traffic is reported alongside.
+        # engines); per-link traffic is reported alongside.  Under
+        # reduce_in_fabric the gradient direction is the reducer's
+        # aggregate intake (n encoded full gradients) instead of the n
+        # host-link shards.
+        grad_wire = reducer.bytes_in if reducer is not None else 0.0
         return StepBreakdown(
             forward=fwd,
             backward=marks["bwd_end"] - marks["fwd_end"],
@@ -261,6 +337,6 @@ class DataParallelEngine:
             grad_clip=clip,
             optimizer=marks["adam_end"] - marks["clip_end"],
             param_transfer_exposed=marks["params_on_gpu"] - marks["adam_end"],
-            wire_bytes=host_link.bytes_sent * n,
-            wire_bytes_per_link=host_link.bytes_sent,
+            wire_bytes=host_link.bytes_sent * n + grad_wire,
+            wire_bytes_per_link=host_link.bytes_sent + grad_wire / n,
         )

@@ -116,6 +116,14 @@ class OffloadTrainer:
     policy
         DBA activation policy (TECO-Reduction only; defaults to the paper's
         ``act_aft_steps=500, dirty_bytes=2``).
+    grad_transform
+        Optional callable applied to the finalized flat gradient (after
+        unscale/accumulation, before clipping): ``(np.ndarray) ->
+        np.ndarray`` of the same shape.  The in-fabric aggregation
+        proxies inject their wire-format round-trip here
+        (:func:`repro.interconnect.aggregation.wire_roundtrip`), so
+        finetune accuracy sees the real encode/decode rounding error.
+        ``None`` (default) leaves the step bit-identical.
     """
 
     def __init__(
@@ -131,6 +139,7 @@ class OffloadTrainer:
         lr_schedule=None,
         tracer=None,
         metrics=None,
+        grad_transform=None,
     ):
         from repro.obs import NULL_METRICS, NULL_TRACER
 
@@ -166,6 +175,8 @@ class OffloadTrainer:
         self._micro_step = 0
         #: Optional per-step learning-rate schedule (repro.optim.schedule).
         self.lr_schedule = lr_schedule
+        #: Optional gradient wire-format hook (see class docstring).
+        self.grad_transform = grad_transform
         #: Observability hooks (repro.obs); null objects by default, so
         #: the un-profiled step pays one ``enabled`` test per phase.
         #: Trainer phases are wall-clock spans under the ``host`` pid
@@ -263,6 +274,18 @@ class OffloadTrainer:
                 self._observe_step(marks, result)
                 return result
             self.arena.grads[...] = scaled / np.float32(self.loss_scaler.scale)
+
+        # The gradient is final here: model the wire format it crossed
+        # the fabric in, so the CPU phases consume the decoded values.
+        if self.grad_transform is not None:
+            transformed = np.asarray(
+                self.grad_transform(self.arena.grads), dtype=np.float32
+            )
+            if transformed.shape != self.arena.grads.shape:
+                raise ValueError(
+                    "grad_transform must preserve the flat gradient shape"
+                )
+            self.arena.grads[...] = transformed
 
         # Phase 4: clip on CPU.
         grad_norm = clip_flat_gradients(self.arena.grads, self.max_grad_norm)

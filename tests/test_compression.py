@@ -75,6 +75,120 @@ class TestLZ4RoundTrip:
             lz4_decompress(bytes([0x00, 0x00, 0x00]))
 
 
+class TestLZ4Truncation:
+    """Truncated blocks must raise ValueError — never IndexError.
+
+    Regression for the decoder's mid-offset and mid-extension-byte
+    reads, which previously escaped as raw ``IndexError``.
+    """
+
+    @staticmethod
+    def _assert_never_index_error(block: bytes) -> None:
+        for cut in range(len(block)):
+            try:
+                lz4_decompress(block[:cut])
+            except ValueError:
+                pass  # the documented failure mode
+            # A prefix can also be a *valid* shorter block (e.g. a cut
+            # at a sequence boundary); success is fine.  IndexError (or
+            # anything else) propagates and fails the test.
+
+    def test_every_cut_point_of_matchy_block(self):
+        self._assert_never_index_error(lz4_compress(b"abcd" * 600))
+
+    def test_every_cut_point_of_literal_block(self):
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 256, 700, dtype=np.uint8).tobytes()
+        self._assert_never_index_error(lz4_compress(data))
+
+    def test_every_cut_point_of_overlap_block(self):
+        self._assert_never_index_error(lz4_compress(b"x" * 5000))
+
+    def test_cut_mid_offset(self):
+        # token: 4 literals + match, then only ONE offset byte present.
+        with pytest.raises(ValueError):
+            lz4_decompress(bytes([0x40]) + b"abcd" + bytes([0x04]))
+
+    def test_cut_mid_literal_length_extension(self):
+        # token 0xF0 promises >= 15 literals with extension bytes; a
+        # bare 255-run with no terminator is truncated mid-extension.
+        with pytest.raises(ValueError):
+            lz4_decompress(bytes([0xF0]))
+        with pytest.raises(ValueError):
+            lz4_decompress(bytes([0xF0, 255, 255]))
+
+    def test_cut_mid_match_length_extension(self):
+        # 1 literal 'a', match-len field 15 -> extension expected, then
+        # offset 1 and no extension byte.
+        with pytest.raises(ValueError):
+            lz4_decompress(bytes([0x1F, ord("a"), 0x01, 0x00]))
+
+    @given(st.binary(max_size=400), st.integers(0, 400))
+    @settings(max_examples=80, deadline=None)
+    def test_truncation_fuzz(self, data, cut):
+        block = lz4_compress(data)
+        cut = min(cut, len(block))
+        try:
+            lz4_decompress(block[:cut])
+        except ValueError:
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_garbage_never_index_error(self, garbage):
+        try:
+            lz4_decompress(garbage)
+        except ValueError:
+            pass
+
+
+class TestGradientShapedPayloads:
+    """LZ4 round-trips on the payloads the offload path actually moves."""
+
+    def test_sparse_gradient_roundtrip(self):
+        rng = np.random.default_rng(11)
+        grads = np.zeros(8192, dtype=np.float32)
+        idx = rng.choice(8192, 200, replace=False)
+        grads[idx] = rng.standard_normal(200).astype(np.float32)
+        data = grads.tobytes()
+        comp = lz4_compress(data)
+        assert lz4_decompress(comp) == data
+        assert compression_ratio(data) > 0.5  # mostly-zero payload
+
+    def test_dba_packed_payload_roundtrip(self):
+        from repro.dba.aggregator import Aggregator
+        from repro.dba.registers import DBARegister
+
+        rng = np.random.default_rng(12)
+        tensor = rng.standard_normal(4096).astype(np.float32)
+        packed = Aggregator(
+            DBARegister(enabled=True, dirty_bytes=2)
+        ).pack_tensor(tensor)
+        data = packed.tobytes()
+        assert lz4_decompress(lz4_compress(data)) == data
+
+    def test_incompressible_random_roundtrip_and_expansion(self):
+        rng = np.random.default_rng(13)
+        data = rng.integers(0, 256, 65_536, dtype=np.uint8).tobytes()
+        comp = lz4_compress(data)
+        assert lz4_decompress(comp) == data
+        # Incompressible payloads pay framing overhead: the true ratio
+        # is negative (regression: it used to be clamped to 0.0).
+        assert compression_ratio(data) < 0.0
+
+    def test_negative_ratio_flows_through_pipeline(self):
+        data = np.random.default_rng(14).integers(
+            0, 256, 4096, dtype=np.uint8
+        ).tobytes()
+        ratio = compression_ratio(data)
+        assert ratio < 0.0
+        # An expanding payload moves MORE than its raw bytes.
+        n = float(len(data))
+        t = lz4_pipeline_time(n, ratio)
+        t_ideal = lz4_pipeline_time(n, 0.0)
+        assert t > t_ideal
+
+
 class TestCompressionOnTensors:
     def test_fp32_training_weights_barely_compress(self):
         """Table VIII: compression ratio on trained FP32 parameters is
@@ -122,6 +236,19 @@ class TestQuantization:
         q = quantize_int8(np.zeros(8, dtype=np.float32))
         assert q.scale == 1.0
         np.testing.assert_array_equal(dequantize_int8(q), np.zeros(8))
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_input_rejected(self, bad):
+        """Regression: NaN/Inf used to silently poison the scale."""
+        x = np.ones(16, dtype=np.float32)
+        x[3] = bad
+        with pytest.raises(ValueError, match="finite"):
+            quantize_int8(x)
+
+    def test_empty_tensor_ok(self):
+        q = quantize_int8(np.zeros(0, dtype=np.float32))
+        assert q.scale == 1.0
+        assert dequantize_int8(q).size == 0
 
 
 class TestZeroQuantTimeModel:
