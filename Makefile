@@ -1,10 +1,15 @@
-.PHONY: install test verify-resume verify-resume-full bench bench-show bench-smoke trace-smoke exp-smoke report examples clean
+.PHONY: install test test-fast verify-resume verify-resume-full bench bench-show bench-smoke trace-smoke exp-smoke report examples clean
 
 install:
 	pip install -e '.[dev]' --no-build-isolation
 
 test: verify-resume exp-smoke
 	PYTHONPATH=src pytest tests/
+
+# Inner-loop tier: skips the @slow-marked multi-second cases (see
+# CONTRIBUTING.md "Test tiers"); budgeted at < 60 s wall time.
+test-fast:
+	PYTHONPATH=src pytest tests/ -m "not slow"
 
 # Resume-equivalence harness: train / checkpoint / resume a tiny model in
 # every TrainerMode x precision x accumulation config and assert the

@@ -23,7 +23,19 @@ Checks, in order:
    fresh, its wire bytes order FP32 > FP16/BF16 > FP8/INT8-DBA, every
    row reports a finite proxy perplexity, and a 2-cell sweep hashes the
    same under ``jobs=1`` and ``jobs=2``;
-6. **speedup** (informational, gated on CPU count) — on hosts with >= 4
+6. **activation** — a reduced ``fig_activation`` cell (group-prefetch
+   activation offloading) is byte-identical cached vs fresh, prefetching
+   strictly beats on-demand fetching at full offload, and a 2-cell sweep
+   hashes the same under ``jobs=1`` and ``jobs=2``;
+7. **zero3** — a reduced ``fig_zero3`` cell (ZeRO-3 sharding over the
+   fabric) is byte-identical cached vs fresh, per-rank shard bytes halve
+   between adjacent rank doublings (the 1/ranks law, ranks >= 2), and a
+   2-cell sweep hashes the same under ``jobs=1`` and ``jobs=2``;
+8. **kvcache** — a reduced ``fig_kvcache`` cell (CXL-spilled KV-cache
+   decode) is byte-identical cached vs fresh, tokens/s is strictly
+   monotone in residency with zero fetch traffic at residency 1.0, and
+   a 2-cell sweep hashes the same under ``jobs=1`` and ``jobs=2``;
+9. **speedup** (informational, gated on CPU count) — on hosts with >= 4
    usable CPUs a 4-cell sweep at ``--jobs 4`` must be >= 2x faster than
    ``--jobs 1``; on smaller hosts (this container has 1 CPU) the
    timings are printed but not enforced, since parallel speedup is
@@ -193,6 +205,114 @@ def check_aggregation(cache_root: str) -> None:
           f"jobs-1 == jobs-2 (hash {serial.sweep_hash[:12]})")
 
 
+def _check_cached_and_jobs(name: str, params: dict, cache_root: str):
+    """Shared scaffold: cached == fresh bytes + jobs-1 == jobs-2 hashes.
+
+    Returns the fresh result (for the caller's domain assertions) and
+    the 2-cell sweep hash.
+    """
+    cache = ResultCache(root=os.path.join(cache_root, name))
+    fresh = registry.run_experiment(name, params, cache=cache)
+    cached = registry.run_experiment(name, params, cache=cache)
+    assert cached.meta["cached"], f"second {name} run did not hit the cache"
+    assert canonical_json(cached.rows) == canonical_json(fresh.rows), (
+        f"cached {name} rows are not byte-identical to fresh rows"
+    )
+    assert cached.result_hash == fresh.result_hash
+    cells = [SweepCell.make(name, params, seed=s) for s in (0, 1)]
+    serial = run_sweep(cells, jobs=1)
+    parallel = run_sweep(cells, jobs=2)
+    assert serial.failed == 0 and parallel.failed == 0
+    assert serial.sweep_hash == parallel.sweep_hash, (
+        f"{name} sweep hashes disagree between jobs=1 and jobs=2"
+    )
+    return fresh, serial.sweep_hash
+
+
+#: Reduced fig_activation cell: full offload, on-demand vs 1-deep
+#: prefetch — the overlap claim in two rows plus the no-offload floor.
+_ACTIVATION_PARAMS = {
+    "fractions": [0.0, 1.0],
+    "prefetches": [0, 1],
+    "group_size": 2,
+}
+
+
+def check_activation(cache_root: str) -> None:
+    """fig_activation: cached == fresh, prefetch wins, jobs-invariance."""
+    fresh, sweep_hash = _check_cached_and_jobs(
+        "fig_activation", _ACTIVATION_PARAMS, cache_root
+    )
+    by_pf = {
+        r["prefetch"]: r
+        for r in fresh.rows
+        if r["offload_fraction"] == 1.0
+    }
+    assert by_pf[1]["step"] < by_pf[0]["step"], (
+        "prefetch=1 did not beat on-demand at full offload: "
+        f"{by_pf[1]['step']} vs {by_pf[0]['step']}"
+    )
+    assert by_pf[1]["speedup_vs_on_demand"] > 1.0
+    assert by_pf[1]["fetch_exposed"] < by_pf[0]["fetch_exposed"]
+    none = [r for r in fresh.rows if r["offload_fraction"] == 0.0]
+    assert none and none[0]["fetch_exposed"] == 0.0
+    print(f"activation: fig_activation cached == fresh, prefetch "
+          f"{by_pf[1]['speedup_vs_on_demand']:.2f}x over on-demand, "
+          f"jobs-1 == jobs-2 (hash {sweep_hash[:12]})")
+
+
+#: Reduced fig_zero3 cell: one format, three rank counts on the
+#: 1/ranks curve (ranks=1 has no gathers and sits off it by design).
+_ZERO3_PARAMS = {
+    "ranks": [2, 4, 8],
+    "formats": ["fp16"],
+}
+
+
+def check_zero3(cache_root: str) -> None:
+    """fig_zero3: cached == fresh, 1/ranks sharding, jobs-invariance."""
+    fresh, sweep_hash = _check_cached_and_jobs(
+        "fig_zero3", _ZERO3_PARAMS, cache_root
+    )
+    shard = {r["ranks"]: r["per_rank_shard_gb"] for r in fresh.rows}
+    for lo, hi in ((2, 4), (4, 8)):
+        ratio = shard[lo] / shard[hi]
+        assert abs(ratio - 2.0) < 1e-6, (
+            f"per-rank shard bytes not halving {lo}->{hi} ranks: "
+            f"ratio {ratio}"
+        )
+    print(f"zero3: fig_zero3 cached == fresh, shard GB/rank "
+          f"{shard[2]:.3f} -> {shard[8]:.3f} (1/ranks), "
+          f"jobs-1 == jobs-2 (hash {sweep_hash[:12]})")
+
+
+#: Reduced fig_kvcache cell: short decode, three residencies spanning
+#: fully-resident to half-spilled.
+_KVCACHE_PARAMS = {
+    "prompt_tokens": 128,
+    "decode_tokens": 32,
+    "residencies": [0.5, 0.75, 1.0],
+}
+
+
+def check_kvcache(cache_root: str) -> None:
+    """fig_kvcache: cached == fresh, monotone tokens/s, jobs-invariance."""
+    fresh, sweep_hash = _check_cached_and_jobs(
+        "fig_kvcache", _KVCACHE_PARAMS, cache_root
+    )
+    by_res = sorted(fresh.rows, key=lambda r: r["residency"])
+    tok_s = [r["tokens_per_s"] for r in by_res]
+    assert all(lo < hi for lo, hi in zip(tok_s, tok_s[1:])), (
+        f"tokens/s not strictly monotone in residency: {tok_s}"
+    )
+    resident = by_res[-1]
+    assert resident["residency"] == 1.0
+    assert resident["fetched_gb"] == 0.0 and resident["fetch_exposed"] == 0.0
+    print(f"kvcache: fig_kvcache cached == fresh, tokens/s "
+          f"{tok_s[0]:.0f} -> {tok_s[-1]:.0f} over residency, "
+          f"jobs-1 == jobs-2 (hash {sweep_hash[:12]})")
+
+
 def check_speedup() -> None:
     """jobs=4 vs jobs=1 wall time; enforced only with enough CPUs."""
     serial = run_sweep(_cells(), jobs=1)
@@ -226,6 +346,9 @@ def main() -> int:
         check_mini_sweep(cache_root)
         check_fabric(cache_root)
         check_aggregation(cache_root)
+        check_activation(cache_root)
+        check_zero3(cache_root)
+        check_kvcache(cache_root)
         check_speedup()
     print(f"exp-smoke OK in {time.perf_counter() - t0:.1f}s")
     return 0

@@ -34,6 +34,9 @@ from repro.experiments import ablations
 from repro.experiments import scaling
 from repro.experiments import fig_fabric
 from repro.experiments import fig_aggregation
+from repro.experiments import fig_activation
+from repro.experiments import fig_zero3
+from repro.experiments import fig_kvcache
 from repro.experiments import models_table
 from repro.experiments import ablation_dirty_bytes
 from repro.experiments import cost_model
@@ -66,6 +69,9 @@ __all__ = [
     "scaling",
     "fig_fabric",
     "fig_aggregation",
+    "fig_activation",
+    "fig_zero3",
+    "fig_kvcache",
     "models_table",
     "ablation_dirty_bytes",
     "cost_model",

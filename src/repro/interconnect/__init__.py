@@ -16,6 +16,8 @@ These modules reproduce that emulation layer:
   (port links, switch, partitioned pool).
 * :mod:`repro.interconnect.aggregation` — the in-fabric gradient
   reduction stage and its low-bit wire formats.
+* :mod:`repro.interconnect.gather` — the in-fabric parameter all-gather
+  stage ZeRO-3 sharding rides.
 """
 
 from repro.interconnect.aggregation import (
@@ -36,6 +38,7 @@ from repro.interconnect.fabric import (
     FabricStats,
     PartitionPolicy,
 )
+from repro.interconnect.gather import FabricGather
 from repro.interconnect.packets import (
     CacheLinePayload,
     CXLPacket,
@@ -63,6 +66,7 @@ __all__ = [
     "wire_bytes_for",
     "aggregate_streams",
     "FabricReducer",
+    "FabricGather",
     "MessageType",
     "CXLPacket",
     "CacheLinePayload",

@@ -234,6 +234,13 @@ class FabricStats:
     the pool boundary, and seconds rank streams spent waiting for their
     peers' matching cells to arrive.  All stay zero when no reducer is
     attached.
+
+    The ``gather_*`` fields account the in-fabric all-gather stage
+    (:class:`repro.interconnect.gather.FabricGather`): per-rank shard
+    bytes entering the gather unit through the port uplinks, replicated
+    peer-shard bytes leaving it down the port links, and seconds shard
+    streams spent waiting at the per-cell rank barrier.  All stay zero
+    when no gather unit is attached.
     """
 
     port_bytes: dict[int, float] = field(default_factory=dict)
@@ -243,6 +250,9 @@ class FabricStats:
     tenant_reduce_in_bytes: dict[int, float] = field(default_factory=dict)
     tenant_reduce_out_bytes: dict[int, float] = field(default_factory=dict)
     tenant_reduce_wait: dict[int, float] = field(default_factory=dict)
+    tenant_gather_in_bytes: dict[int, float] = field(default_factory=dict)
+    tenant_gather_out_bytes: dict[int, float] = field(default_factory=dict)
+    tenant_gather_wait: dict[int, float] = field(default_factory=dict)
 
     def _account_bytes(self, port: int, tenant: int, n_bytes: float) -> None:
         self.port_bytes[port] = self.port_bytes.get(port, 0.0) + n_bytes
@@ -278,6 +288,21 @@ class FabricStats:
         """Seconds rank streams waited for peer cells at the reducer."""
         return sum(self.tenant_reduce_wait.values())
 
+    @property
+    def gather_in_bytes(self) -> float:
+        """Per-rank shard bytes that entered the gather stage."""
+        return sum(self.tenant_gather_in_bytes.values())
+
+    @property
+    def gather_out_bytes(self) -> float:
+        """Replicated peer-shard bytes multicast back down the ports."""
+        return sum(self.tenant_gather_out_bytes.values())
+
+    @property
+    def gather_wait(self) -> float:
+        """Seconds shard streams waited for peer cells at the gather."""
+        return sum(self.tenant_gather_wait.values())
+
     def snapshot(self) -> dict:
         """JSON-ready copy (row material for experiments)."""
         return {
@@ -302,11 +327,25 @@ class FabricStats:
             "tenant_reduce_wait": {
                 str(k): v for k, v in sorted(self.tenant_reduce_wait.items())
             },
+            "tenant_gather_in_bytes": {
+                str(k): v
+                for k, v in sorted(self.tenant_gather_in_bytes.items())
+            },
+            "tenant_gather_out_bytes": {
+                str(k): v
+                for k, v in sorted(self.tenant_gather_out_bytes.items())
+            },
+            "tenant_gather_wait": {
+                str(k): v for k, v in sorted(self.tenant_gather_wait.items())
+            },
             "switch_wait": self.switch_wait,
             "pool_wait": self.pool_wait,
             "reduce_in_bytes": self.reduce_in_bytes,
             "reduce_out_bytes": self.reduce_out_bytes,
             "reduce_wait": self.reduce_wait,
+            "gather_in_bytes": self.gather_in_bytes,
+            "gather_out_bytes": self.gather_out_bytes,
+            "gather_wait": self.gather_wait,
             "total_bytes": self.total_bytes,
         }
 
@@ -513,3 +552,17 @@ class CXLFabric:
         from repro.interconnect.aggregation import FabricReducer
 
         return FabricReducer(self, ranks, tenant=tenant, **kwargs)
+
+    def gather_unit(self, ranks, tenant: int = 0, **kwargs):
+        """An in-fabric all-gather stage over ``ranks`` port indices.
+
+        Convenience constructor for
+        :class:`repro.interconnect.gather.FabricGather` (imported lazily
+        — gather depends on this module)::
+
+            gat = fabric.gather_unit(ranks=range(4), tenant=0)
+            yield gat.gather(shard_bytes_per_rank)
+        """
+        from repro.interconnect.gather import FabricGather
+
+        return FabricGather(self, ranks, tenant=tenant, **kwargs)

@@ -26,10 +26,17 @@ from repro.offload.engines import (
     ZeROOffloadEngine,
     simulate_system,
 )
+from repro.offload.group_offload import (
+    ActivationOffloadEngine,
+    ActivationStepResult,
+    GroupOffloadPolicy,
+)
+from repro.offload.kvcache import DecodeResult, KVCacheEngine
 from repro.offload.memory import MemoryBudget, MemoryModel
 from repro.offload.parallel import ClusterParams, DataParallelEngine
 from repro.offload.timing import HardwareParams
 from repro.offload.trainer import CommVolume, OffloadTrainer, TrainerMode
+from repro.offload.zero3 import Zero3Engine, Zero3StepResult
 
 __all__ = [
     "FlatArena",
@@ -45,6 +52,13 @@ __all__ = [
     "TECOEngine",
     "SystemKind",
     "simulate_system",
+    "GroupOffloadPolicy",
+    "ActivationOffloadEngine",
+    "ActivationStepResult",
+    "Zero3Engine",
+    "Zero3StepResult",
+    "KVCacheEngine",
+    "DecodeResult",
     "OffloadTrainer",
     "TrainerMode",
     "CommVolume",

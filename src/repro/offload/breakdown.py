@@ -40,6 +40,18 @@ class StepBreakdown:
     #: means "not populated" (legacy construction); the engines always
     #: fill it, and for single-link systems it equals ``wire_bytes``.
     wire_bytes_per_link: float = 0.0
+    #: Activation-offload eviction time exposed to the critical path
+    #: (the fence at forward end waiting for undrained activation
+    #: spills).  Zero for engines without activation offloading.
+    act_evict_exposed: float = 0.0
+    #: Activation prefetch/fetch stalls exposed during backward (time
+    #: the backward stream waited for a spilled group to return from
+    #: CXL memory).  Zero for engines without activation offloading.
+    act_fetch_exposed: float = 0.0
+    #: ZeRO-3 parameter-gather stalls exposed during forward/backward
+    #: (time compute waited for a layer's shards to be gathered over
+    #: the fabric).  Zero for unsharded engines.
+    param_gather_exposed: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -49,6 +61,9 @@ class StepBreakdown:
             "grad_clip",
             "optimizer",
             "param_transfer_exposed",
+            "act_evict_exposed",
+            "act_fetch_exposed",
+            "param_gather_exposed",
         ):
             if getattr(self, name) < -1e-12:
                 raise ValueError(f"{name} must be non-negative")
@@ -65,8 +80,19 @@ class StepBreakdown:
 
     @property
     def communication_exposed(self) -> float:
-        """Transfer time on the critical path — Table I's numerator."""
-        return self.grad_transfer_exposed + self.param_transfer_exposed
+        """Transfer time on the critical path — Table I's numerator.
+
+        Includes the workload-engine extensions (activation eviction /
+        fetch stalls, ZeRO-3 gather stalls); those default to zero, so
+        the paper engines' Table I accounting is unchanged.
+        """
+        return (
+            self.grad_transfer_exposed
+            + self.param_transfer_exposed
+            + self.act_evict_exposed
+            + self.act_fetch_exposed
+            + self.param_gather_exposed
+        )
 
     @property
     def total(self) -> float:

@@ -1,16 +1,34 @@
 """Shared test fixtures.
 
-The Listing-1 module-level API (``from TECO import check_activation``)
-is backed by a process-global :data:`repro.dba.activation.default_policy`
-whose activation is *sticky* — one test (or example) calling
-``check_activation(step >= act_aft_steps)`` would leave DBA latched on
-for every later test in the process.  The autouse fixture below resets it
-around every test so no case can contaminate another.
+Two kinds of process-global state need fencing so no test can
+contaminate another — or the working tree:
+
+* The Listing-1 module-level API (``from TECO import check_activation``)
+  is backed by a process-global
+  :data:`repro.dba.activation.default_policy` whose activation is
+  *sticky* — one test (or example) calling
+  ``check_activation(step >= act_aft_steps)`` would leave DBA latched on
+  for every later test in the process.  ``_pristine_default_policy``
+  resets it around every test.
+
+* The experiment :class:`~repro.experiments.cache.ResultCache` defaults
+  its root to ``$REPRO_CACHE_DIR`` or ``results/cache`` — a test (or a
+  library call a test triggers) constructing a default cache would
+  silently write into the repo tree.  ``_isolated_cache_dir`` points the
+  env var at a per-test tmp_path, and the session-scoped
+  ``_repo_tree_stays_clean`` fixture fails the run if the session leaves
+  any new file behind (git-visible or under the ignored ``results/``).
 """
+
+import subprocess
+from pathlib import Path
 
 import pytest
 
 from repro.dba.activation import reset_default_policy
+from repro.experiments.cache import CACHE_DIR_ENV
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(autouse=True)
@@ -19,3 +37,44 @@ def _pristine_default_policy():
     reset_default_policy()
     yield
     reset_default_policy()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Route default experiment-cache writes into the test's tmp_path."""
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "exp-cache"))
+
+
+def _tree_snapshot() -> tuple[str, tuple[str, ...]]:
+    """Working-tree state: git porcelain + the ignored results/ files."""
+    porcelain = subprocess.run(
+        ["git", "status", "--porcelain", "-uall"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    ).stdout
+    results = REPO_ROOT / "results"
+    ignored = tuple(
+        sorted(
+            str(p.relative_to(REPO_ROOT))
+            for p in results.rglob("*")
+            if p.is_file()
+        )
+        if results.is_dir()
+        else ()
+    )
+    return porcelain, ignored
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _repo_tree_stays_clean():
+    """Fail the session if tests leave new files in the repo tree."""
+    before = _tree_snapshot()
+    yield
+    after = _tree_snapshot()
+    assert after == before, (
+        "test session polluted the repo tree:\n"
+        f"git status before:\n{before[0]}\ngit status after:\n{after[0]}\n"
+        f"results/ before: {before[1]}\nresults/ after: {after[1]}"
+    )

@@ -32,6 +32,7 @@ class TestDPUAblation:
 
 
 class TestGranularityAblation:
+    @pytest.mark.slow
     def test_whole_tensor_exposes_everything(self):
         rows = run_stream_granularity(chunk_lines=(1, 0))
         fine, coarse = rows
@@ -39,6 +40,7 @@ class TestGranularityAblation:
         assert coarse["overlap"] < 0.05
         assert fine["exposed"] < coarse["exposed"]
 
+    @pytest.mark.slow
     def test_streaming_robust_to_chunk_size(self):
         """Chunking the fluid stream from 1 to 4096 lines barely changes
         exposure (bandwidth-limited, not granularity-limited) — which also
@@ -54,6 +56,7 @@ class TestGranularityAblation:
         assert rows[0]["grad_exposed"] >= rows[1]["grad_exposed"]
 
 
+@pytest.mark.slow
 class TestDirtyBytesAblation:
     @pytest.fixture(scope="class")
     def rows(self):

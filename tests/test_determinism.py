@@ -6,6 +6,7 @@ functional drivers thread explicit RNGs.
 """
 
 import numpy as np
+import pytest
 
 from repro.experiments import fig2, fig10, fig13, table1, table8
 from repro.experiments.fig11_table4 import run_fig11_table4
@@ -35,12 +36,14 @@ class TestFunctionalDeterminism:
         b = fig2.run_fig2(n_steps=10, seed=4)
         assert a.param_means != b.param_means
 
+    @pytest.mark.slow
     def test_fig10_reproducible(self):
         a = fig10.run_fig10(n_steps=20, act_aft_steps=5, seed=2)
         b = fig10.run_fig10(n_steps=20, act_aft_steps=5, seed=2)
         assert a.baseline_curve == b.baseline_curve
         assert a.teco_curve == b.teco_curve
 
+    @pytest.mark.slow
     def test_fig13_reproducible(self):
         a = fig13.run_fig13(sweep=(0, 20), total_steps=20, seed=1)
         b = fig13.run_fig13(sweep=(0, 20), total_steps=20, seed=1)

@@ -91,6 +91,7 @@ def test_json_safe_and_content_hash_round_trip():
 # ---------------------------------------------- golden-row equivalence
 
 
+@pytest.mark.slow
 def test_fig10_registry_rows_match_direct_run():
     direct = run_fig10(n_steps=12, act_aft_steps=3, seed=0, lr=5e-4)
     result = registry.run_experiment(
@@ -100,6 +101,7 @@ def test_fig10_registry_rows_match_direct_run():
     assert result.result_hash == content_hash(rows_from_result(direct))
 
 
+@pytest.mark.slow
 def test_table5_registry_rows_match_direct_run():
     from repro.experiments.table5 import run_table5
 

@@ -83,6 +83,7 @@ class TestInvalidationAblation:
 
 
 class TestFig10:
+    @pytest.mark.slow
     def test_same_trend(self):
         result = fig10.run_fig10(n_steps=60, act_aft_steps=15)
         assert len(result.baseline_curve) == 60

@@ -338,6 +338,7 @@ class TestClusterEngine:
             dp.wire_bytes, rel=1e-9
         )
 
+    @pytest.mark.slow
     def test_pool_contention_slowdown_is_monotone(self, bert):
         """Acceptance: a tenants sweep shows monotone pool-contention
         slowdown (per-tenant mean step never improves with more load)."""

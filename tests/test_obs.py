@@ -408,6 +408,7 @@ class TestCoherenceInstrumentation:
 
 
 class TestProfileAndTraceExperiment:
+    @pytest.mark.slow
     def test_trace_experiment_fig10(self, tmp_path):
         from repro.obs import trace_experiment
 

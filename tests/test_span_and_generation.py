@@ -69,6 +69,7 @@ class TestTinySpanExtractor:
         for s, e in spans:
             assert 0 <= s <= e < 12
 
+    @pytest.mark.slow
     def test_learns_marked_spans(self):
         """The marker pattern is learnable: F1 rises well above chance."""
         rng = RNG(7)
@@ -109,6 +110,7 @@ class TestGreedyGeneration:
         mean = model.mean_generation_length(src, bos=0, eos=1, max_len=6)
         assert 0.0 <= mean <= 6.0
 
+    @pytest.mark.slow
     def test_trained_model_generates_target_length(self):
         """After training on EOS-terminated 4-token targets, greedy
         generation converges to length ~4 — the gen-length metric."""

@@ -1,0 +1,175 @@
+"""Property tests for the aggregation wire formats (Hypothesis).
+
+The PR 7 wire formats promise exact, mechanically-checkable contracts:
+
+* **idempotence** — ``decode(encode(x))`` is a projection onto the
+  format's representable set: round-tripping a round-tripped tensor is
+  a bit-exact no-op for every format;
+* **FP8-E4M3 saturation** — magnitudes beyond ±448 clamp to ±448 (the
+  format's largest finite), never overflow to NaN;
+* **INT8-DBA scale header** — the FP32 scale side channel survives the
+  wire and re-encoding a decoded tensor reproduces it bit-exactly;
+* **wire accounting** — :func:`wire_bytes_for` (the timing models' size
+  estimator) agrees with the byte size of an actually-encoded tensor.
+
+The suite is deterministic (``derandomize=True``): the same ~400 example
+tensors are generated on every run, on every machine, under any
+``PYTHONHASHSEED`` — no flake budget.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.interconnect.aggregation import (
+    FP8_E4M3_MAX,
+    WireFormat,
+    decode_tensor,
+    encode_tensor,
+    wire_bytes_for,
+    wire_roundtrip,
+)
+
+ALL_FORMATS = ("fp32", "fp16", "bf16", "fp8-e4m3", "int8-dba")
+
+# Finite FP32 values beyond FP16's max legitimately overflow to inf in
+# the fp16 cast — expected format semantics, not a numerical bug.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:overflow encountered in cast:RuntimeWarning"
+)
+
+#: Finite FP32 tensors spanning subnormal to near-max magnitudes.
+finite_tensors = hnp.arrays(
+    dtype=np.float32,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=64),
+    elements=st.floats(
+        min_value=-(2.0**125),
+        max_value=2.0**125,
+        allow_nan=False,
+        allow_infinity=False,
+        width=32,
+    ),
+)
+
+# database=None: derandomized runs never replay failures from a local
+# example DB, so don't create a .hypothesis/ directory in the repo.
+DETERMINISTIC = settings(
+    max_examples=100, derandomize=True, deadline=None, database=None
+)
+
+
+class TestRoundtripIdempotence:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    @DETERMINISTIC
+    @given(x=finite_tensors)
+    def test_roundtrip_is_idempotent(self, fmt, x):
+        once = wire_roundtrip(x, fmt)
+        twice = wire_roundtrip(once, fmt)
+        assert once.dtype == np.float32
+        assert once.shape == x.shape
+        np.testing.assert_array_equal(once, twice)
+
+    @DETERMINISTIC
+    @given(x=finite_tensors)
+    def test_fp32_roundtrip_is_identity(self, x):
+        np.testing.assert_array_equal(wire_roundtrip(x, "fp32"), x)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    @DETERMINISTIC
+    @given(x=finite_tensors)
+    def test_payload_decodes_to_shape_preserving_fp32(self, fmt, x):
+        enc = encode_tensor(x, fmt)
+        dec = decode_tensor(enc)
+        assert enc.n_values == x.size
+        assert enc.shape == x.shape
+        assert dec.shape == x.shape
+        assert dec.dtype == np.float32
+        # No format invents NaNs from finite input (FP16 may overflow
+        # finite values beyond its max to inf — that is the format).
+        assert not np.isnan(dec).any()
+
+
+class TestFP8Saturation:
+    @DETERMINISTIC
+    @given(
+        x=hnp.arrays(
+            dtype=np.float32,
+            shape=st.integers(1, 64),
+            elements=st.floats(
+                min_value=FP8_E4M3_MAX,
+                max_value=2.0**125,
+                width=32,
+            ),
+        ),
+        sign=st.sampled_from([1.0, -1.0]),
+    )
+    def test_overrange_magnitudes_saturate_at_448(self, x, sign):
+        out = wire_roundtrip(sign * x, "fp8-e4m3")
+        np.testing.assert_array_equal(
+            out, np.full_like(out, sign * FP8_E4M3_MAX)
+        )
+
+    def test_infinities_saturate_not_nan(self):
+        x = np.array([np.inf, -np.inf], dtype=np.float32)
+        out = wire_roundtrip(x, "fp8-e4m3")
+        np.testing.assert_array_equal(
+            out, np.array([FP8_E4M3_MAX, -FP8_E4M3_MAX], dtype=np.float32)
+        )
+
+    @DETERMINISTIC
+    @given(x=finite_tensors)
+    def test_decoded_values_never_exceed_448(self, x):
+        out = wire_roundtrip(x, "fp8-e4m3")
+        assert np.abs(out).max(initial=0.0) <= FP8_E4M3_MAX
+
+
+class TestInt8DbaScaleHeader:
+    @DETERMINISTIC
+    @given(x=finite_tensors)
+    def test_scale_survives_the_wire(self, x):
+        enc = encode_tensor(x, "int8-dba")
+        assert enc.scale is not None and np.isfinite(enc.scale)
+        dec = decode_tensor(enc)
+        # Quantization error is bounded by half a step of the header
+        # scale — the defining property of a faithful scale round-trip.
+        tol = max(abs(enc.scale) / 2.0, 1e-30)
+        assert float(np.abs(dec - x).max(initial=0.0)) <= tol * (1 + 1e-6)
+
+    @DETERMINISTIC
+    @given(x=finite_tensors)
+    def test_reencoding_decoded_tensor_reproduces_scale(self, x):
+        enc = encode_tensor(x, "int8-dba")
+        enc2 = encode_tensor(decode_tensor(enc), "int8-dba")
+        assert enc2.scale == enc.scale
+        np.testing.assert_array_equal(
+            enc2.payload.view(np.uint8), enc.payload.view(np.uint8)
+        )
+
+    def test_nonfinite_input_rejected(self):
+        with pytest.raises(ValueError):
+            encode_tensor(np.array([1.0, np.nan], np.float32), "int8-dba")
+
+
+class TestWireByteAccounting:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    @DETERMINISTIC
+    @given(x=finite_tensors)
+    def test_wire_bytes_for_matches_encoded_size(self, fmt, x):
+        enc = encode_tensor(x, fmt)
+        # The timing estimator sizes from FP32 bytes; the encoder's own
+        # wire_bytes is the ground truth (DBA line padding excluded).
+        assert wire_bytes_for(x.size * 4.0, fmt) == enc.wire_bytes
+        assert enc.wire_bytes == WireFormat.parse(fmt).wire_bytes(x.size)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    @DETERMINISTIC
+    @given(n=st.integers(1, 10**6))
+    def test_payload_never_beats_the_estimator(self, fmt, n):
+        # Padding/overhead only ever add bytes: the estimator is a
+        # floor on what any real payload of n values occupies.
+        est = wire_bytes_for(n * 4.0, fmt)
+        fmt_ = WireFormat.parse(fmt)
+        assert est >= n * fmt_.bytes_per_value
+        assert est == n * fmt_.bytes_per_value + fmt_.overhead_bytes
