@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Synthetic-load benchmark for the sweep service (``repro.service``).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        [--clients 4] [--jobs-per-client 8] [--workers 2]
+
+Starts an in-process daemon on an ephemeral port, warms the shared
+result cache with every distinct sweep once, then fires ``--clients``
+concurrent client threads, each submitting ``--jobs-per-client``
+*overlapping* sweeps (the same few specs round-robin — the
+"millions of users asking the same questions" regime the shared cache
+is for).  Clients honour 429 backpressure by sleeping the server's
+``Retry-After`` hint and retrying.
+
+Reports:
+
+* **jobs/s** — completed jobs per wall second across all clients;
+* **warm cache-hit latency** — client-observed submit -> done wall time
+  per job (all load-phase jobs are fully cache-hit), min/p50/p95;
+* server-side ``/stats``: cell hit/miss totals (misses must equal the
+  warm-up only) and the daemon's own cache-hit latency samples.
+
+The regression gate for warm cache-hit latency lives in
+``bench_smoke.py`` (op ``service_warm_cache_hit``) against the
+committed ``BENCH_baseline.json``; this script is for load shaping and
+capacity numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service import ServiceBusy, ServiceClient, SweepService  # noqa: E402
+
+#: The overlapping sweep specs clients round-robin over: two 2-cell
+#: table6 grids that differ only in seed, so every client's jobs collide
+#: with every other client's in the shared cache.
+SPECS = [
+    {"experiment": "table6", "sweep": {"batch": [2, 4]}, "seeds": [0]},
+    {"experiment": "table6", "sweep": {"batch": [2, 4]}, "seeds": [1]},
+]
+
+
+def _submit_with_backoff(client: ServiceClient, spec: dict) -> str:
+    while True:
+        try:
+            return client.submit(**spec)
+        except ServiceBusy as exc:
+            time.sleep(exc.retry_after)
+
+
+def _client_worker(url: str, n_jobs: int, latencies: list[float],
+                   errors: list[str], lock: threading.Lock) -> None:
+    client = ServiceClient(url)
+    for i in range(n_jobs):
+        spec = SPECS[i % len(SPECS)]
+        t0 = time.perf_counter()
+        job_id = _submit_with_backoff(client, spec)
+        status = client.wait(job_id, timeout=300.0, interval=0.005)
+        dt = time.perf_counter() - t0
+        with lock:
+            if status["state"] != "done" or status["cache"]["failures"]:
+                errors.append(f"{job_id}: {status['state']}")
+            else:
+                latencies.append(dt)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--jobs-per-client", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="daemon worker processes")
+    parser.add_argument("--queue-depth", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        service = SweepService(
+            port=0,
+            jobs=args.workers,
+            queue_depth=args.queue_depth,
+            cache_dir=os.path.join(tmp, "cache"),
+            work_dir=os.path.join(tmp, "work"),
+        )
+        service.start()
+        try:
+            client = ServiceClient(service.url)
+            t0 = time.perf_counter()
+            for spec in SPECS:  # cold fill, outside the timed window
+                status = client.wait(
+                    _submit_with_backoff(client, spec), timeout=300.0
+                )
+                assert status["state"] == "done", status
+            warm_fill = time.perf_counter() - t0
+
+            latencies: list[float] = []
+            errors: list[str] = []
+            lock = threading.Lock()
+            threads = [
+                threading.Thread(
+                    target=_client_worker,
+                    args=(service.url, args.jobs_per_client, latencies,
+                          errors, lock),
+                )
+                for _ in range(args.clients)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - t0
+            stats = client.stats()
+        finally:
+            service.close()
+
+    total = args.clients * args.jobs_per_client
+    if errors:
+        print(f"FAIL: {len(errors)} job(s) did not complete clean: "
+              f"{errors[:5]}")
+        return 1
+    latencies.sort()
+    p = lambda q: latencies[min(len(latencies) - 1,  # noqa: E731
+                                int(q * len(latencies)))]
+    print(f"load: {args.clients} clients x {args.jobs_per_client} jobs "
+          f"({total} total, {len(SPECS)} distinct specs), "
+          f"{args.workers} daemon workers")
+    print(f"cold fill: {warm_fill:.2f}s for {len(SPECS)} specs")
+    print(f"throughput: {total / wall:.1f} jobs/s over {wall:.2f}s")
+    print(f"warm cache-hit latency: min {latencies[0] * 1e3:.1f} ms, "
+          f"p50 {p(0.50) * 1e3:.1f} ms, p95 {p(0.95) * 1e3:.1f} ms, "
+          f"mean {statistics.mean(latencies) * 1e3:.1f} ms")
+    cells = stats["cells"]
+    expected_misses = sum(
+        len(s["sweep"]["batch"]) * len(s["seeds"]) for s in SPECS
+    )
+    print(f"server cells: {cells['hits']:g} hits, {cells['misses']:g} misses "
+          f"(expected misses = warm-up {expected_misses}), "
+          f"{cells['failures']:g} failures")
+    print(f"server jobs/s: {stats['jobs']['per_second']:.1f} "
+          f"(rejected {stats['queue']['rejected']})")
+    if cells["misses"] != expected_misses:
+        print("FAIL: load phase recomputed cells that should have been "
+              "cache hits")
+        return 1
+    print("bench-service OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

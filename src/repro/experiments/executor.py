@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -36,10 +36,15 @@ __all__ = [
     "SweepCell",
     "CellOutcome",
     "SweepReport",
+    "WorkerPool",
     "run_sweep",
     "derive_cell_seed",
     "merge_chrome_traces",
 ]
+
+#: Parallel resubmissions a cell gets after its pool broke before it is
+#: retried in isolation (where a crash is attributable to that cell).
+_CRASH_ATTEMPTS = 2
 
 
 @dataclass(frozen=True)
@@ -87,12 +92,21 @@ def derive_cell_seed(base_seed: int, cell: SweepCell) -> int:
 
 @dataclass
 class CellOutcome:
-    """What happened to one cell: its result or its error."""
+    """What happened to one cell: its result or its error.
+
+    ``cache_hit``/``cache_miss`` are reported by the worker that ran the
+    cell (not inferred after the fact), so every cell is exactly one of
+    hit, miss, or failure — the partition sweep-level and service-level
+    stats rely on.  A *miss* means the cell was computed, whether the
+    cache was enabled, disabled, or absent.
+    """
 
     cell: SweepCell
     seed: int
     result: ExperimentResult | None = None
     error: str | None = None
+    cache_hit: bool = False
+    cache_miss: bool = False
 
     @property
     def cached(self) -> bool:
@@ -130,6 +144,16 @@ class SweepReport:
     def failed(self) -> int:
         """Number of cells that raised instead of returning rows."""
         return sum(1 for o in self.outcomes if o.error is not None)
+
+    @property
+    def cache_hits(self) -> int:
+        """Cells served from cache, as reported by the workers."""
+        return sum(1 for o in self.outcomes if o.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        """Cells computed (cache miss or no/disabled cache)."""
+        return sum(1 for o in self.outcomes if o.cache_miss)
 
     @property
     def sweep_hash(self) -> str:
@@ -177,10 +201,14 @@ def _profile_path(profile_dir, cell: SweepCell, seed: int) -> str:
     )
 
 
-def _run_cell(args) -> tuple[dict | None, str | None]:
+def _run_cell(args) -> tuple[dict | None, str | None, bool, bool]:
     """Top-level worker body (picklable): run one cell, return its result.
 
-    Returns ``(result dict, None)`` or ``(None, error message)``.  The
+    Returns ``(result dict, error, cache_hit, cache_miss)``: exactly one
+    of *hit* (served from cache), *miss* (computed — also when the cache
+    is disabled or absent), or failure (``error`` set, both flags
+    ``False``).  The flags are reported from here, where the lookup
+    actually happened, so the parent never has to infer them.  The
     registry repopulates on import inside spawn-style workers.
     """
     (name, params, seed, cache_root, cache_enabled, profile_path) = args
@@ -205,16 +233,131 @@ def _run_cell(args) -> tuple[dict | None, str | None]:
         if profile_path is not None and ctx.profile is not None:
             os.makedirs(os.path.dirname(profile_path), exist_ok=True)
             ctx.profile.write_chrome(profile_path)
-        return result.to_dict(), None
+        hit = bool(result.meta.get("cached"))
+        return result.to_dict(), None, hit, not hit
     except Exception as exc:  # surfaced per-cell, never kills the sweep
-        return None, f"{type(exc).__name__}: {exc}"
+        return None, f"{type(exc).__name__}: {exc}", False, False
+
+
+class WorkerPool:
+    """A restartable process pool, shareable across sweeps.
+
+    :func:`run_sweep` builds a transient one per call unless handed a
+    long-lived instance (the sweep daemon does this to keep workers warm
+    across jobs).  A pool whose worker died — OOM kill, segfault — is
+    unusable (:class:`concurrent.futures.BrokenExecutor` on every
+    pending future), so :meth:`discard` drops it and the next
+    :meth:`executor` call lazily builds a fresh one: one crashed cell
+    never poisons later cells or later sweeps.
+    """
+
+    def __init__(self, jobs: int):
+        self.jobs = max(1, int(jobs))
+        self.restarts = 0
+        self._pool: ProcessPoolExecutor | None = None
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, built on first use or after a discard."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def discard(self) -> None:
+        """Drop a broken executor; the next use rebuilds a fresh one."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            self.restarts += 1
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the pool down for good (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _run_cell_isolated(cell_args) -> tuple[dict | None, str | None, bool, bool]:
+    """Definitive single-cell attempt in a throwaway one-worker pool.
+
+    With exactly one cell in flight, a broken pool is attributable to
+    *this* cell — the only point where "the worker crashed" can be
+    pinned on a cell rather than on whoever shared its pool.
+    """
+    with ProcessPoolExecutor(max_workers=1) as solo:
+        try:
+            return solo.submit(_run_cell, cell_args).result()
+        except BrokenExecutor as exc:
+            return (
+                None,
+                f"worker process crashed ({type(exc).__name__}: the cell "
+                "killed its worker — OOM or hard crash)",
+                False,
+                False,
+            )
+
+
+def _map_cells(args: list, pool: WorkerPool) -> list:
+    """Run every cell as its own future, surviving worker crashes.
+
+    A dead worker breaks the whole ``ProcessPoolExecutor`` — every
+    pending future raises :class:`BrokenExecutor`, including innocent
+    cells that were merely queued behind the crasher.  Completed futures
+    keep their results, so those cells are never re-run.  Broken cells
+    are resubmitted on a fresh pool up to ``_CRASH_ATTEMPTS`` times;
+    cells still breaking after that are retried once in an isolated
+    one-worker pool where a crash is unambiguous and recorded as that
+    cell's error outcome.  The sweep itself always completes.
+    """
+    results: list = [None] * len(args)
+    attempts = [0] * len(args)
+    pending = list(range(len(args)))
+    solo: list[int] = []
+    while pending:
+        try:
+            futures = [
+                (i, pool.executor().submit(_run_cell, args[i]))
+                for i in pending
+            ]
+        except BrokenExecutor:
+            # the pool was already broken (e.g. by a previous sweep
+            # sharing it); replace it and resubmit, no attempts charged
+            pool.discard()
+            continue
+        retry: list[int] = []
+        broke = False
+        for i, fut in futures:
+            try:
+                results[i] = fut.result()
+            except BrokenExecutor:
+                broke = True
+                attempts[i] += 1
+                (retry if attempts[i] < _CRASH_ATTEMPTS else solo).append(i)
+        if broke:
+            pool.discard()
+        pending = retry
+    for i in solo:
+        results[i] = _run_cell_isolated(args[i])
+    return results
 
 
 def merge_chrome_traces(paths, out_path) -> str:
     """Merge per-cell Chrome traces into one file, one process per cell.
 
     Each input trace's events keep their relative pids, namespaced by the
-    cell's file stem so timelines don't collide in the viewer.
+    cell's file stem so timelines don't collide in the viewer.  The
+    merged trace owns process naming: each remapped pid gets exactly one
+    synthesized ``process_name`` entry (``"<stem>:<pid>"``), and the
+    input traces' own ``process_name`` metadata events are dropped —
+    remapped and re-emitted they would land *after* the synthesized
+    entry and overwrite it, leaving every cell labelled identically in
+    the viewer.  ``thread_name`` metadata is kept (remapped): track
+    names are per-pid, so they cannot collide across cells.
     """
     merged: list[dict] = []
     pid_map: dict[tuple, int] = {}
@@ -226,6 +369,8 @@ def merge_chrome_traces(paths, out_path) -> str:
         except (OSError, json.JSONDecodeError):
             continue
         for event in trace.get("traceEvents", []):
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                continue
             key = (stem, event.get("pid"))
             if key not in pid_map:
                 pid_map[key] = len(pid_map) + 1
@@ -255,6 +400,7 @@ def run_sweep(
     base_seed: int = 0,
     cache=None,
     profile_dir=None,
+    pool: WorkerPool | None = None,
 ) -> SweepReport:
     """Execute a list of cells, optionally in parallel.
 
@@ -274,6 +420,11 @@ def run_sweep(
     profile_dir
         When set, each cell runs under a fresh profile; per-cell Chrome
         traces land there and are merged into ``sweep-trace.json``.
+    pool
+        A long-lived :class:`WorkerPool` to run on (the sweep daemon
+        keeps one warm across jobs); ``None`` builds a transient pool
+        for this sweep.  Passing a pool overrides ``jobs <= 1`` inline
+        execution.
     """
     import time
 
@@ -301,16 +452,20 @@ def run_sweep(
     ]
 
     t0 = time.perf_counter()
-    if jobs <= 1:
+    if jobs <= 1 and pool is None:
         raw = [_run_cell(a) for a in args]
+    elif pool is not None:
+        raw = _map_cells(args, pool)
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            raw = list(pool.map(_run_cell, args))
+        with WorkerPool(jobs) as transient:
+            raw = _map_cells(args, transient)
     wall = time.perf_counter() - t0
 
     report = SweepReport(jobs=jobs, wall_seconds=wall)
-    for cell, seed, (data, error) in zip(norm, seeds, raw):
-        outcome = CellOutcome(cell=cell, seed=seed, error=error)
+    for cell, seed, (data, error, hit, miss) in zip(norm, seeds, raw):
+        outcome = CellOutcome(
+            cell=cell, seed=seed, error=error, cache_hit=hit, cache_miss=miss
+        )
         if data is not None:
             result = ExperimentResult.from_dict(data)
             result.meta.setdefault("cached", data["meta"].get("cached", False))
@@ -318,9 +473,11 @@ def run_sweep(
         report.outcomes.append(outcome)
     if cache is not None:
         # The parent's stats reflect the sweep outcome even though the
-        # lookups happened in workers.
-        cache.stats.hits += report.cached
-        cache.stats.misses += report.computed
+        # lookups happened in workers — using the workers' own per-cell
+        # hit/miss flags, so failed and disabled-cache cells are
+        # accounted honestly (hits + misses + failures == cells).
+        cache.stats.hits += report.cache_hits
+        cache.stats.misses += report.cache_misses
     if profile_dir is not None:
         traces = [a[5] for a in args if a[5] is not None]
         report.trace_path = merge_chrome_traces(

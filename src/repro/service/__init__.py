@@ -1,0 +1,46 @@
+"""Simulation-as-a-service: the long-running sweep daemon and its client.
+
+The service layer turns the experiment stack — typed registry,
+content-addressed result cache, crash-surviving parallel executor —
+into shared multi-user infrastructure: a stdlib-only HTTP/JSON daemon
+(:class:`SweepService`, ``python -m repro serve``) with a bounded FIFO
+job queue, backpressure (429 + ``Retry-After``), a persistent worker
+pool warm across jobs, per-job Chrome-trace retrieval, and
+:mod:`repro.obs` metrics behind ``GET /stats``.  The shared cache makes
+it a cross-client result CDN: overlapping sweeps from concurrent
+clients compute each cell exactly once.
+
+See docs/API.md ("Sweep service") for the wire schema and curl
+examples, and ``benchmarks/bench_service.py`` for the synthetic-load
+benchmark (warm cache-hit latency, jobs/s).
+"""
+
+from repro.service.client import ServiceBusy, ServiceClient, ServiceError
+from repro.service.daemon import ServiceConfig, SweepService
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobQueue,
+    QueueFull,
+)
+from repro.service.protocol import SpecError, parse_sweep_spec
+
+__all__ = [
+    "SweepService",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceBusy",
+    "Job",
+    "JobQueue",
+    "QueueFull",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "SpecError",
+    "parse_sweep_spec",
+]

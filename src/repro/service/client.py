@@ -1,0 +1,153 @@
+"""Thin HTTP client for the sweep service (stdlib ``urllib`` only).
+
+Wraps the JSON API of :class:`repro.service.daemon.SweepService` behind
+typed methods, mapping the protocol's error statuses onto exceptions:
+``429`` becomes :class:`ServiceBusy` (carrying the server's
+``Retry-After`` hint) and every other non-2xx becomes
+:class:`ServiceError` with the decoded body.  ``repro submit`` and
+``repro poll`` are built on this class; so is the synthetic-load
+benchmark (``benchmarks/bench_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceBusy"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the sweep service."""
+
+    def __init__(self, status: int, body: dict | None, url: str):
+        message = (body or {}).get("error") or f"HTTP {status}"
+        super().__init__(f"{message} ({url})")
+        self.status = status
+        self.body = body or {}
+
+
+class ServiceBusy(ServiceError):
+    """HTTP 429: the job queue is full; retry after ``retry_after``."""
+
+    def __init__(self, status: int, body: dict | None, url: str,
+                 retry_after: float):
+        super().__init__(status, body, url)
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Talk to a running sweep daemon at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as rsp:
+                return json.loads(rsp.read().decode() or "null")
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode() or "null")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                body = None
+            if exc.code == 429:
+                retry_after = float(
+                    exc.headers.get("Retry-After")
+                    or (body or {}).get("retry_after")
+                    or 1.0
+                )
+                raise ServiceBusy(exc.code, body, url, retry_after) from None
+            raise ServiceError(exc.code, body, url) from None
+
+    # -- API ---------------------------------------------------------------
+    def submit(
+        self,
+        experiment: str | None = None,
+        sweep: dict | None = None,
+        seeds: list[int] | None = None,
+        cells: list[dict] | None = None,
+        base_seed: int = 0,
+        no_cache: bool = False,
+        profile: bool = False,
+    ) -> str:
+        """``POST /jobs``; returns the new job id.
+
+        Pass either ``cells`` (explicit cell dicts) or ``experiment`` +
+        optional ``sweep`` axes and ``seeds`` — the two spec shapes of
+        :func:`repro.service.protocol.parse_sweep_spec`.
+        """
+        payload: dict = {
+            "base_seed": base_seed,
+            "no_cache": no_cache,
+            "profile": profile,
+        }
+        if cells is not None:
+            payload["cells"] = cells
+        else:
+            if experiment is None:
+                raise ValueError("submit() needs 'experiment' or 'cells'")
+            payload["experiment"] = experiment
+            if sweep:
+                payload["sweep"] = sweep
+            if seeds is not None:
+                payload["seeds"] = seeds
+        return self._request("POST", "/jobs", payload)["id"]
+
+    def status(self, job_id: str) -> dict:
+        """``GET /jobs/<id>``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def results(self, job_id: str) -> dict:
+        """``GET /jobs/<id>/results`` (raises 409 while not done)."""
+        return self._request("GET", f"/jobs/{job_id}/results")
+
+    def trace(self, job_id: str) -> dict:
+        """``GET /jobs/<id>/trace`` — the merged Chrome trace object."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
+
+    def stats(self) -> dict:
+        """``GET /stats``."""
+        return self._request("GET", "/stats")
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, interval: float = 0.05
+    ) -> dict:
+        """Poll until the job leaves ``queued``/``running``.
+
+        Returns the final status dict; raises :class:`TimeoutError`
+        when the deadline passes first.  The poll interval backs off
+        gently (x1.5 per poll, capped at 1s) to stay kind under load.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] not in ("queued", "running"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(interval)
+            interval = min(interval * 1.5, 1.0)
+
+    def submit_and_wait(self, timeout: float = 120.0, **kwargs) -> dict:
+        """Convenience: :meth:`submit` + :meth:`wait`."""
+        return self.wait(self.submit(**kwargs), timeout=timeout)

@@ -1,0 +1,181 @@
+"""Job model and bounded FIFO queue for the sweep service.
+
+A :class:`Job` is one submitted sweep — a list of
+:class:`~repro.experiments.executor.SweepCell` plus per-job options —
+moving through the ``queued -> running -> done | failed`` lifecycle.
+*failed* means the sweep itself could not run (the scheduler raised);
+individual cell errors do **not** fail a job — they are surfaced in the
+job's per-cell outcomes, mirroring the executor's "surfaced per-cell,
+never kills the sweep" contract.
+
+:class:`JobQueue` is the service's admission control: a bounded FIFO.
+When it is full, :meth:`JobQueue.submit` raises :class:`QueueFull` and
+the HTTP layer translates that into ``429 Too Many Requests`` with a
+``Retry-After`` header — backpressure instead of unbounded memory
+growth under overload.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.experiments.executor import SweepCell, SweepReport
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "QueueFull",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+]
+
+#: Job lifecycle states (plain strings: they go straight into JSON).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class QueueFull(Exception):
+    """The job queue is at capacity; retry after a short backoff."""
+
+    def __init__(self, depth: int, retry_after: float):
+        super().__init__(
+            f"job queue full ({depth} jobs queued); "
+            f"retry after {retry_after:g}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+@dataclass
+class Job:
+    """One submitted sweep and everything the API reports about it."""
+
+    id: str
+    cells: list[SweepCell]
+    base_seed: int = 0
+    no_cache: bool = False
+    profile: bool = False
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    report: SweepReport | None = None
+    error: str | None = None
+    trace_path: str | None = None
+
+    @property
+    def wait_seconds(self) -> float | None:
+        """Queue wait: submit -> start (``None`` while still queued)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def status_dict(self) -> dict:
+        """The ``GET /jobs/<id>`` body: lifecycle + per-cell outcomes."""
+        body: dict = {
+            "id": self.id,
+            "state": self.state,
+            "cells": len(self.cells),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "no_cache": self.no_cache,
+            "profile": self.profile,
+        }
+        if self.report is not None:
+            body["wall_seconds"] = self.report.wall_seconds
+            body["cache"] = {
+                "hits": self.report.cache_hits,
+                "misses": self.report.cache_misses,
+                "failures": self.report.failed,
+            }
+            body["sweep_hash"] = self.report.sweep_hash
+            body["outcomes"] = [
+                {
+                    "cell": o.cell.label(),
+                    "seed": o.seed,
+                    "status": (
+                        "error"
+                        if o.error
+                        else ("cached" if o.cache_hit else "computed")
+                    ),
+                    "error": o.error,
+                    "result_hash": (
+                        o.result.result_hash if o.result else None
+                    ),
+                }
+                for o in self.report.outcomes
+            ]
+        return body
+
+    def results_dict(self) -> dict:
+        """The ``GET /jobs/<id>/results`` body: canonical result JSON.
+
+        Each successful cell carries its full
+        :class:`~repro.experiments.registry.ExperimentResult` encoding
+        (the same ``to_dict()`` an inline run produces), so a service
+        round-trip is byte-comparable to ``run_sweep`` output.
+        """
+        assert self.report is not None
+        return {
+            "id": self.id,
+            "sweep_hash": self.report.sweep_hash,
+            "outcomes": [
+                {
+                    "cell": o.cell.label(),
+                    "seed": o.seed,
+                    "error": o.error,
+                    "result": o.result.to_dict() if o.result else None,
+                }
+                for o in self.report.outcomes
+            ],
+        }
+
+
+class JobQueue:
+    """Bounded FIFO of :class:`Job` with non-blocking admission.
+
+    Thin wrapper over :class:`queue.Queue` that (a) rejects instead of
+    blocking when full — the HTTP layer must answer 429 immediately, not
+    hold the connection — and (b) exposes the current depth for the
+    ``/stats`` endpoint and the queue-depth gauge.
+    """
+
+    def __init__(self, depth: int, retry_after: float = 1.0):
+        self.depth = max(1, int(depth))
+        self.retry_after = float(retry_after)
+        self._queue: queue.Queue[Job] = queue.Queue(maxsize=self.depth)
+        self._rejected = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def rejected(self) -> int:
+        """Jobs turned away with 429 since the queue was created."""
+        return self._rejected
+
+    def submit(self, job: Job) -> None:
+        """Enqueue ``job`` or raise :class:`QueueFull` immediately."""
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                self._rejected += 1
+            raise QueueFull(self.depth, self.retry_after) from None
+
+    def next_job(self, timeout: float = 0.2) -> Job | None:
+        """Dequeue the oldest job, or ``None`` after ``timeout``."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None

@@ -231,6 +231,139 @@ def test_sweep_surfaces_cell_errors():
     assert "nope" in report.outcomes[1].error
 
 
+@pytest.mark.slow
+def test_sweep_survives_worker_crash():
+    from tests._crashcell import ensure_crash_experiment
+
+    name = ensure_crash_experiment()
+    cells = [
+        SweepCell.make(name, {"value": 1}),
+        SweepCell.make(name, {"crash": True}),
+        SweepCell.make(name, {"value": 3}),
+    ]
+    # regression: list(pool.map(...)) raised BrokenProcessPool out of
+    # run_sweep, losing every cell of the sweep to one bad worker
+    report = run_sweep(cells, jobs=2)
+    assert report.failed == 1
+    crashed = [o for o in report.outcomes if o.error is not None]
+    assert len(crashed) == 1 and "crash" in crashed[0].error
+    assert crashed[0].cell.params_dict.get("crash") is True
+    survivors = [o for o in report.outcomes if o.result is not None]
+    assert len(survivors) == 2
+    assert sorted(o.result.rows[0]["value"] for o in survivors) == [1, 3]
+    # every cell lands in exactly one stat bucket
+    assert report.cache_hits + report.cache_misses + report.failed == 3
+
+
+def test_sweep_stats_partition_hits_misses_failures(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    cells = [
+        SweepCell.make("table6", {"batch": 2}),
+        SweepCell.make("table6", {"batch": 4}),
+        SweepCell.make("table6", {"nope": 1}),  # resolve_params raises
+    ]
+    first = run_sweep(cells, jobs=1, cache=cache)
+    # regression: the parent inferred hits/misses from outcome counts, so
+    # a failed cell was silently counted as neither and totals drifted
+    assert first.failed == 1
+    assert cache.stats.hits == 0 and cache.stats.misses == 2
+    assert cache.stats.hits + cache.stats.misses + first.failed == len(cells)
+    second = run_sweep(cells, jobs=1, cache=cache)
+    assert second.failed == 1
+    assert cache.stats.hits == 2 and cache.stats.misses == 2
+    assert second.cache_hits == 2 and second.cache_misses == 0
+
+
+def test_sweep_disabled_cache_still_counts_misses(tmp_path):
+    # regression: with a disabled cache every computed cell skipped the
+    # miss counter, so stats claimed a sweep that ran N cells did nothing
+    cache = ResultCache(root=tmp_path, enabled=False)
+    report = run_sweep(_cheap_cells(), jobs=1, cache=cache)
+    assert report.failed == 0
+    assert cache.stats.misses == len(_cheap_cells())
+    assert cache.stats.hits == 0 and cache.stats.stores == 0
+    assert report.cache_misses == len(_cheap_cells())
+
+
+# ------------------------------------------------------------ trace merge
+
+
+def _cell_trace(pid_label: str) -> dict:
+    # a minimal per-cell Chrome trace that carries its own process_name
+    # metadata, the way repro.obs.Tracer.export writes it
+    return {
+        "traceEvents": [
+            {"name": "process_name", "ph": "M", "ts": 0, "pid": 1,
+             "tid": 0, "args": {"name": pid_label}},
+            {"name": "thread_name", "ph": "M", "ts": 0, "pid": 1,
+             "tid": 0, "args": {"name": "cxl-link"}},
+            {"name": "step", "ph": "X", "ts": 0, "dur": 5, "pid": 1,
+             "tid": 0},
+        ]
+    }
+
+
+def test_merge_traces_one_process_name_per_cell_pid(tmp_path):
+    import json
+
+    from repro.experiments.executor import merge_chrome_traces
+
+    for stem in ("cell-a", "cell-b"):
+        (tmp_path / f"{stem}.json").write_text(
+            json.dumps(_cell_trace("repro"))
+        )
+    out = merge_chrome_traces(
+        [tmp_path / "cell-a.json", tmp_path / "cell-b.json"],
+        tmp_path / "merged.json",
+    )
+    merged = json.loads((tmp_path / "merged.json").read_text())
+    assert out == str(tmp_path / "merged.json")
+    events = merged["traceEvents"]
+    names = [e for e in events if e.get("ph") == "M"
+             and e["name"] == "process_name"]
+    # regression: the inputs' own process_name events were re-emitted
+    # after the synthesized ones, overwriting every cell's label with
+    # the same "repro" string in the trace viewer
+    pids = {e["pid"] for e in events}
+    assert len(names) == len(pids) == 2  # exactly one label per pid
+    assert {e["args"]["name"] for e in names} == {"cell-a:1", "cell-b:1"}
+    # thread_name metadata is per-pid and must survive the merge
+    threads = [e for e in events if e.get("ph") == "M"
+               and e["name"] == "thread_name"]
+    assert len(threads) == 2
+    assert {e["pid"] for e in threads} == pids
+
+
+# ------------------------------------------------------- cache tmp orphans
+
+
+def test_cache_clear_removes_tmp_orphans(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    registry.run_experiment("models", cache=cache)
+    entry = next(tmp_path.rglob("*.json"))
+    # a writer killed between mkstemp and os.replace leaves this behind
+    orphan = entry.parent / f"{entry.name}.tmp.dead1234"
+    orphan.write_text("{partial")
+    assert cache.clear() >= 2  # the entry and the orphan
+    assert not orphan.exists()
+    assert not any(tmp_path.rglob("*.json"))
+    assert not any(tmp_path.rglob("*.tmp.*"))
+
+
+def test_cache_remove_orphans_spares_fresh_tmp_files(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    registry.run_experiment("models", cache=cache)
+    entry = next(tmp_path.rglob("*.json"))
+    fresh = entry.parent / f"{entry.name}.tmp.live42"
+    fresh.write_text("{in-flight")
+    # a startup sweep must not race a concurrent writer mid-store
+    assert cache.remove_orphans(max_age=3600.0) == 0
+    assert fresh.exists()
+    assert cache.remove_orphans(max_age=0.0) == 1
+    assert not fresh.exists()
+    assert entry.exists()  # real entries are never orphan candidates
+
+
 # ------------------------------------------------------ same_trend symmetry
 
 

@@ -1,0 +1,259 @@
+"""The sweep service: HTTP job API, queue, backpressure, crash containment.
+
+Covers the acceptance criteria of the simulation-as-a-service daemon:
+
+* end-to-end submit -> poll -> results byte-identical to an inline
+  :func:`~repro.experiments.executor.run_sweep` of the same cells;
+* concurrent clients sharing one result cache (second client's
+  identical sweep is served entirely from cache, same sweep hash);
+* bounded-queue backpressure — 429 + ``Retry-After`` when full, held
+  jobs still complete, 409 for results of an unfinished job;
+* protocol errors: 400 on unknown experiments/params, 404 on unknown
+  jobs and traces of unprofiled jobs;
+* the merged Chrome trace at ``/jobs/<id>/trace`` (one ``process_name``
+  per cell pid);
+* a worker-killing cell contained to its own error outcome while the
+  persistent pool restarts;
+* the ``repro submit`` / ``repro poll`` CLI against a live daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.executor import SweepCell, run_sweep
+from repro.experiments.registry import canonical_json
+from repro.service import (
+    ServiceBusy,
+    ServiceClient,
+    ServiceError,
+    SweepService,
+)
+from tests._crashcell import ensure_crash_experiment
+
+QUEUE_DEPTH = 2
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    # register before the service forks workers: pool processes inherit
+    # the registry as of fork time
+    registry.ensure_registered()
+    ensure_crash_experiment()
+    tmp = tmp_path_factory.mktemp("sweep-service")
+    svc = SweepService(
+        port=0,
+        jobs=2,
+        queue_depth=QUEUE_DEPTH,
+        cache_dir=str(tmp / "cache"),
+        work_dir=str(tmp / "work"),
+    )
+    svc.start()
+    yield svc
+    svc.close()
+
+
+@pytest.fixture()
+def client(service):
+    return ServiceClient(service.url)
+
+
+# ------------------------------------------------------------- end to end
+
+
+def test_submit_poll_results_matches_inline(client):
+    inline = run_sweep(
+        [SweepCell.make("table6", {"batch": b}, seed=0) for b in (2, 4)],
+        jobs=1,
+    )
+    assert inline.failed == 0
+    job_id = client.submit(
+        experiment="table6", sweep={"batch": [2, 4]}, seeds=[0]
+    )
+    status = client.wait(job_id, timeout=120.0)
+    assert status["state"] == "done"
+    assert status["cache"]["failures"] == 0
+    assert status["sweep_hash"] == inline.sweep_hash
+    # per-cell status entries line up with the submitted grid
+    assert [o["cell"] for o in status["outcomes"]] == [
+        "table6 batch=2 seed=0", "table6 batch=4 seed=0"
+    ]
+    assert all(o["error"] is None for o in status["outcomes"])
+    # the results payload is byte-identical to the inline rows
+    results = client.results(job_id)
+    served = [o["result"]["rows"] for o in results["outcomes"]]
+    assert [canonical_json(r) for r in served] == [
+        canonical_json(o.result.rows) for o in inline.outcomes
+    ]
+
+
+def test_concurrent_clients_share_one_cache(service):
+    # distinct param values so earlier tests' cache entries can't leak in
+    spec = dict(experiment="table6", sweep={"batch": [3, 6]}, seeds=[0])
+    first, second = ServiceClient(service.url), ServiceClient(service.url)
+    cold = first.submit_and_wait(**spec)
+    assert cold["state"] == "done"
+    assert cold["cache"] == {"hits": 0, "misses": 2, "failures": 0}
+    warm = second.submit_and_wait(**spec)
+    assert warm["state"] == "done"
+    assert warm["cache"] == {"hits": 2, "misses": 0, "failures": 0}
+    assert warm["sweep_hash"] == cold["sweep_hash"]
+
+
+# ----------------------------------------------------------- backpressure
+
+
+def test_full_queue_answers_429_and_drains(service, client):
+    service.pause()
+    # the dispatcher may already be inside its (0.2s) dequeue wait when
+    # pause lands; the queue is empty here, so outsleeping that wait
+    # guarantees it is parked before the queue starts filling
+    time.sleep(0.35)
+    try:
+        held = [
+            client.submit(experiment="table6", sweep={"batch": [2]})
+            for _ in range(QUEUE_DEPTH)
+        ]
+        with pytest.raises(ServiceBusy) as excinfo:
+            client.submit(experiment="table6", sweep={"batch": [2]})
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after > 0
+        # a queued job has no results yet: 409, not an empty payload
+        with pytest.raises(ServiceError) as conflict:
+            client.results(held[0])
+        assert conflict.value.status == 409
+    finally:
+        service.resume()
+    for job_id in held:  # every admitted job still completes
+        assert client.wait(job_id, timeout=120.0)["state"] == "done"
+
+
+# -------------------------------------------------------- protocol errors
+
+
+def test_unknown_experiment_and_param_are_400(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit(experiment="not-an-experiment")
+    assert excinfo.value.status == 400
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit(experiment="table6", sweep={"nope": [1]})
+    assert excinfo.value.status == 400
+
+
+def test_unknown_job_and_unprofiled_trace_are_404(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.status("j99999-deadbeef")
+    assert excinfo.value.status == 404
+    status = client.submit_and_wait(experiment="table6", sweep={"batch": [2]})
+    assert status["state"] == "done"
+    with pytest.raises(ServiceError) as excinfo:
+        client.trace(status["id"])  # submitted without profile=True
+    assert excinfo.value.status == 404
+
+
+# ------------------------------------------------------------ trace merge
+
+
+@pytest.mark.slow
+def test_trace_endpoint_merges_cell_traces(client):
+    # fig10 is instrumented (table6 emits no profile events)
+    status = client.submit_and_wait(
+        experiment="fig10",
+        sweep={"n_steps": [4, 6]},
+        profile=True,
+        timeout=240.0,
+    )
+    assert status["state"] == "done"
+    trace = client.trace(status["id"])
+    events = trace["traceEvents"]
+    assert events, "profiled job produced an empty merged trace"
+    names = [e for e in events if e.get("ph") == "M"
+             and e["name"] == "process_name"]
+    pids = {e["pid"] for e in events}
+    # exactly one process_name per remapped pid, labelled "<stem>:<pid>"
+    assert len(names) == len(pids)
+    assert len({e["pid"] for e in names}) == len(names)
+    assert all(":" in e["args"]["name"] for e in names)
+
+
+# ------------------------------------------------------- crash containment
+
+
+@pytest.mark.slow
+def test_crash_cell_is_one_error_outcome(service, client):
+    name = ensure_crash_experiment()
+    status = client.wait(
+        client.submit(cells=[
+            {"experiment": name, "params": {"value": 1}},
+            {"experiment": name, "params": {"crash": True}},
+            {"experiment": name, "params": {"value": 3}},
+        ]),
+        timeout=240.0,
+    )
+    assert status["state"] == "done"
+    errors = [o for o in status["outcomes"] if o["status"] == "error"]
+    assert len(errors) == 1 and "crash" in errors[0]["error"]
+    assert sum(1 for o in status["outcomes"] if o["error"] is None) == 2
+    assert service.pool.restarts >= 1
+    # the service (and its persistent pool) keeps serving afterwards
+    follow_up = client.submit_and_wait(
+        experiment="table6", sweep={"batch": [2]}
+    )
+    assert follow_up["state"] == "done"
+    assert follow_up["cache"]["failures"] == 0
+
+
+# ---------------------------------------------------------- health, stats
+
+
+def test_healthz_and_stats_partition(client):
+    health = client.healthz()
+    assert health["ok"] is True
+    assert health["workers"] == 2
+    client.submit_and_wait(experiment="table6", sweep={"batch": [2]})
+    stats = client.stats()
+    assert stats["queue"]["capacity"] == QUEUE_DEPTH
+    jobs = stats["jobs"]
+    assert jobs["submitted"] >= jobs["done"] + jobs["failed"]
+    cells = stats["cells"]
+    assert all(k in cells for k in ("hits", "misses", "failures"))
+    assert stats["cache"]["hits"] == cells["hits"]
+    assert stats["cache"]["misses"] == cells["misses"]
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def test_cli_submit_then_poll_roundtrip(service, client, capsys, tmp_path):
+    from repro.cli import main
+
+    url = ["--url", service.url]
+    assert main(["submit", "table6", "--set", "batch=2,4", *url]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("submitted ")
+    job_id = out.split()[1]
+    results_path = tmp_path / "results.json"
+    assert main(
+        ["poll", job_id, "--wait", "--results", str(results_path), *url]
+    ) == 0
+    out = capsys.readouterr().out
+    assert job_id in out and "done" in out
+    written = json.loads(results_path.read_text())
+    assert written["sweep_hash"] == client.status(job_id)["sweep_hash"]
+    assert all(o["result"]["rows"] for o in written["outcomes"])
+
+
+def test_cli_submit_wait_reports_outcomes(service, capsys):
+    from repro.cli import main
+
+    code = main([
+        "submit", "table6", "--set", "batch=2", "--wait",
+        "--url", service.url,
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "done" in out
