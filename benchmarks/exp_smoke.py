@@ -35,7 +35,15 @@ Checks, in order:
    decode) is byte-identical cached vs fresh, tokens/s is strictly
    monotone in residency with zero fetch traffic at residency 1.0, and
    a 2-cell sweep hashes the same under ``jobs=1`` and ``jobs=2``;
-9. **speedup** (informational, gated on CPU count) — on hosts with >= 4
+9. **kernels** — ``table6`` produces an identical result hash under
+   every registered compute-kernel backend (``scalar``/``numpy``/
+   ``numba``) — the bit-exactness contract behind ``--kernel``;
+10. **full-size** — the paper-scale ``fig10_full`` (1775 steps) and
+    ``fig13_full`` (5-point activation sweep) registry experiments
+    complete within ``EXP_SMOKE_FULL_GATE`` seconds (default 480), and
+    a reduced ``fig13_full`` hashes identically under ``shards=1`` and
+    ``shards=2``;
+11. **speedup** (informational, gated on CPU count) — on hosts with >= 4
    usable CPUs a 4-cell sweep at ``--jobs 4`` must be >= 2x faster than
    ``--jobs 1``; on smaller hosts (this container has 1 CPU) the
    timings are printed but not enforced, since parallel speedup is
@@ -313,6 +321,68 @@ def check_kvcache(cache_root: str) -> None:
           f"jobs-1 == jobs-2 (hash {sweep_hash[:12]})")
 
 
+def check_kernel_parity() -> None:
+    """One experiment, every kernel backend: identical result hashes.
+
+    This is the end-to-end form of the ``tests/test_kernels.py``
+    contract — ``--kernel`` must never change what an experiment
+    computes, only how fast, which is why backend names stay out of
+    cache keys and provenance.
+    """
+    from repro.core.kernels import available_backends
+    from repro.experiments.registry import RunContext
+
+    hashes = {}
+    for name in available_backends():
+        result = registry.run_experiment(
+            "table6", seed=0, ctx=RunContext(kernel=name)
+        )
+        assert result.meta["kernel"] in available_backends()
+        hashes[name] = result.result_hash
+    assert len(set(hashes.values())) == 1, (
+        f"kernel backends disagree on table6 rows: {hashes}"
+    )
+    print(f"kernels: {', '.join(sorted(hashes))} -> identical hash "
+          f"{next(iter(hashes.values()))[:12]}")
+
+
+#: Wall-clock gate on the full-size paper runs (seconds, env-overridable).
+FULL_SIZE_GATE = float(os.environ.get("EXP_SMOKE_FULL_GATE", "480"))
+
+
+def check_full_size() -> None:
+    """The paper-scale runs: fig10_full + fig13_full inside the gate,
+    and sharding never changes the rows.
+
+    ``fig10_full`` is the paper's 1775-step GPT-2 fine-tune (baseline +
+    TECO as two task shards); ``fig13_full`` sweeps DBA activation over
+    (0, 100, 500, 1000, 1775) at the same scale.  Both must finish
+    within ``EXP_SMOKE_FULL_GATE`` seconds combined; a reduced
+    ``fig13_full`` additionally pins ``shards=1`` == ``shards=2`` result
+    hashes (cells run inline vs forked workers).
+    """
+    t0 = time.perf_counter()
+    fig10 = registry.run_experiment("fig10_full")
+    fig13 = registry.run_experiment("fig13_full")
+    wall = time.perf_counter() - t0
+    assert len(fig10.rows) == 1775, f"fig10_full rows: {len(fig10.rows)}"
+    assert [r["act_aft_steps"] for r in fig13.rows] == [0, 100, 500, 1000, 1775]
+    assert all(r["speedup"] >= 1.0 for r in fig13.rows)
+    assert wall <= FULL_SIZE_GATE, (
+        f"full-size fig10+fig13 took {wall:.0f}s "
+        f"(gate {FULL_SIZE_GATE:.0f}s; override with EXP_SMOKE_FULL_GATE)"
+    )
+    reduced = {"sweep": [0, 15, 30], "total_steps": 30}
+    one = registry.run_experiment("fig13_full", {**reduced, "shards": 1}, seed=1)
+    two = registry.run_experiment("fig13_full", {**reduced, "shards": 2}, seed=1)
+    assert one.result_hash == two.result_hash, (
+        "fig13_full rows differ between shards=1 and shards=2"
+    )
+    print(f"full-size: fig10_full (1775 steps) + fig13_full (5-point sweep) "
+          f"in {wall:.0f}s (gate {FULL_SIZE_GATE:.0f}s), "
+          f"shards-1 == shards-2 (hash {one.result_hash[:12]})")
+
+
 def check_speedup() -> None:
     """jobs=4 vs jobs=1 wall time; enforced only with enough CPUs."""
     serial = run_sweep(_cells(), jobs=1)
@@ -349,6 +419,8 @@ def main() -> int:
         check_activation(cache_root)
         check_zero3(cache_root)
         check_kvcache(cache_root)
+        check_kernel_parity()
+        check_full_size()
         check_speedup()
     print(f"exp-smoke OK in {time.perf_counter() - t0:.1f}s")
     return 0

@@ -1,0 +1,43 @@
+"""Pluggable compute-kernel backends for the simulation hot paths.
+
+See :mod:`repro.core.kernels.base` for the backend contract and the
+selection precedence (explicit > ``use_backend`` override >
+``REPRO_KERNEL`` env var > ``numpy`` default).  Importing this package
+registers all three backends; the ``numba`` one degrades gracefully to
+``numpy`` when numba is not installed.
+"""
+
+from repro.core.kernels.base import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    ArrayEventHeap,
+    KernelBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_name,
+    set_backend,
+    use_backend,
+)
+from repro.core.kernels.numba_backend import NumbaBackend, numba_available
+from repro.core.kernels.numpy_backend import NumpyBackend
+from repro.core.kernels.scalar import ScalarBackend
+
+__all__ = [
+    "KernelBackend",
+    "ArrayEventHeap",
+    "ScalarBackend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "resolve_name",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+    "numba_available",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+]

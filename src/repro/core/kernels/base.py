@@ -1,0 +1,261 @@
+"""Kernel-backend registry and selection.
+
+Every hot primitive of the simulation stack — the set-associative
+lookup/LRU batch kernel behind
+:meth:`repro.memsim.cache.SetAssociativeCache.access_block`, the
+event-heap inner loop of :class:`repro.sim.engine.Simulator`, and the
+DBA pack/merge byte kernels — dispatches through one of the backends
+registered here:
+
+``scalar``
+    Pure-Python reference loops.  Slow, but the semantic ground truth
+    every other backend is differentially fuzzed against.
+``numpy``
+    The vectorized fast paths (the default).  For the event heap this
+    backend returns ``None`` from :meth:`KernelBackend.make_event_heap`,
+    which tells the ``Simulator`` to keep its inline :mod:`heapq` loop —
+    zero added indirection on the per-event hot path.
+``numba``
+    JIT-compiled versions of the scalar loops.  Import-guarded: when
+    numba is not installed (it is an optional ``[jit]`` extra) the
+    backend notices once and delegates to ``numpy``, which is bit-exact
+    anyway.
+
+Selection precedence (first match wins):
+
+1. an explicit name passed to :func:`active_backend` / a
+   :func:`use_backend` override (the ``--kernel`` CLI flag and
+   ``RunContext.kernel`` land here),
+2. the ``REPRO_KERNEL`` environment variable,
+3. the ``numpy`` default.
+
+All backends are bit-exact by contract: selecting a different backend
+(or none) never changes an experiment's result hash, which is why the
+result cache ignores the kernel choice.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "KernelBackend",
+    "ArrayEventHeap",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "resolve_name",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+]
+
+#: Environment variable consulted when no explicit override is active.
+ENV_VAR = "REPRO_KERNEL"
+
+#: Backend used when neither an override nor the env var selects one.
+DEFAULT_BACKEND = "numpy"
+
+
+class KernelBackend:
+    """One implementation of the three hot primitives.
+
+    Subclasses mutate the cache object / return arrays exactly as the
+    scalar reference would: same stats counters, same LRU tie-breaks,
+    same write-back order, same payload bytes.  The contract is enforced
+    by the differential fuzz suite in ``tests/test_kernels.py``.
+    """
+
+    #: Registry key (``scalar`` / ``numpy`` / ``numba``).
+    name: str = "abstract"
+
+    @property
+    def jit(self) -> bool:
+        """Whether a compiled (JIT) code path is actually active."""
+        return False
+
+    # -- memsim -----------------------------------------------------------
+    def cache_access_block(self, cache, addrs, writes, hits_out, wb_out):
+        """Run a validated access stream against ``cache`` in order.
+
+        ``addrs`` is a 1-D non-negative ``int64`` array, ``writes`` a
+        same-shape bool array, and both outputs are pre-allocated
+        (``hits_out`` bool, ``wb_out`` int64 filled with ``-1``).  The
+        kernel owns the whole transaction: tag/valid/dirty/LRU state,
+        the access tick, and the ``cache.stats`` counters.
+        """
+        raise NotImplementedError
+
+    # -- sim.engine -------------------------------------------------------
+    def make_event_heap(self):
+        """An event-heap object for one ``Simulator``, or ``None``.
+
+        ``None`` selects the simulator's inline :mod:`heapq` fast path
+        (what the ``numpy`` backend does).  Otherwise the object must
+        provide ``push(time, seq, item)``, ``pop() -> (time, seq,
+        item)``, ``peek_time() -> float`` (``inf`` when empty) and
+        ``__len__``, with ``(time, seq)`` min-ordering — ``seq`` is
+        unique, so any correct heap pops in exactly heapq's order.
+        """
+        return None
+
+    # -- dba --------------------------------------------------------------
+    def dba_pack(self, words: np.ndarray, n_bytes: int) -> np.ndarray:
+        """Gather the low ``n_bytes`` bytes of each little-endian word.
+
+        ``words`` is ``(rows, words_per_line) uint32``; returns the
+        ``(rows, words_per_line * n_bytes) uint8`` wire payload.
+        """
+        raise NotImplementedError
+
+    def dba_merge(
+        self, stale_words: np.ndarray, payload: np.ndarray, n_bytes: int
+    ) -> np.ndarray:
+        """Merge a packed payload back into stale words (reset/shift/OR).
+
+        Returns the merged ``(rows, words_per_line)`` word matrix.
+        """
+        raise NotImplementedError
+
+
+class ArrayEventHeap:
+    """A ``(time, seq)`` binary min-heap on parallel NumPy arrays.
+
+    The sift loops are injected so the ``scalar`` backend runs them as
+    plain Python (the reference) and the ``numba`` backend runs the
+    same source compiled — one algorithm, differentially tested either
+    way.  Events live in a slot list on the Python side; only the
+    ``(time, seq, slot)`` triples travel through the array heap.
+    """
+
+    __slots__ = ("_times", "_seqs", "_slots", "_n", "_items", "_free", "_push_fn", "_pop_fn")
+
+    def __init__(self, push_fn, pop_fn, capacity: int = 64):
+        self._times = np.empty(capacity, dtype=np.float64)
+        self._seqs = np.empty(capacity, dtype=np.int64)
+        self._slots = np.empty(capacity, dtype=np.int64)
+        self._n = 0
+        self._items: list = []
+        self._free: list[int] = []
+        self._push_fn = push_fn
+        self._pop_fn = pop_fn
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow(self) -> None:
+        cap = 2 * self._times.size
+        for attr in ("_times", "_seqs", "_slots"):
+            old = getattr(self, attr)
+            new = np.empty(cap, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, attr, new)
+
+    def push(self, time: float, seq: int, item) -> None:
+        """Insert ``item`` keyed by ``(time, seq)``; grows storage as needed."""
+        if self._n == self._times.size:
+            self._grow()
+        if self._free:
+            slot = self._free.pop()
+            self._items[slot] = item
+        else:
+            slot = len(self._items)
+            self._items.append(item)
+        self._push_fn(self._times, self._seqs, self._slots, self._n, time, seq, slot)
+        self._n += 1
+
+    def pop(self):
+        """Remove and return the minimum entry as ``(time, seq, item)``."""
+        if not self._n:
+            raise IndexError("pop from empty event heap")
+        t, s, slot = self._pop_fn(self._times, self._seqs, self._slots, self._n)
+        self._n -= 1
+        slot = int(slot)
+        item = self._items[slot]
+        self._items[slot] = None
+        self._free.append(slot)
+        return float(t), int(s), item
+
+    def peek_time(self) -> float:
+        """Earliest queued time, or ``inf`` when the heap is empty."""
+        return float(self._times[0]) if self._n else float("inf")
+
+
+# -- registry / selection ---------------------------------------------------
+
+_REGISTRY: dict[str, KernelBackend] = {}
+_OVERRIDE: str | None = None
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Add a backend instance to the registry (name collisions replace)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Look a backend up by name; unknown names list the choices."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; "
+            f"choose from {', '.join(available_backends())}"
+        ) from None
+
+
+def resolve_name(name: str | None = None) -> str:
+    """The backend name that would be active, honouring precedence."""
+    if name:
+        get_backend(name)
+        return name
+    if _OVERRIDE:
+        return _OVERRIDE
+    env = os.environ.get(ENV_VAR, "").strip()
+    if env:
+        get_backend(env)
+        return env
+    return DEFAULT_BACKEND
+
+
+def active_backend(name: str | None = None) -> KernelBackend:
+    """The selected backend (explicit > override > env > default)."""
+    return _REGISTRY[resolve_name(name)]
+
+
+def set_backend(name: str | None) -> None:
+    """Install (or with ``None`` clear) the process-global override."""
+    global _OVERRIDE
+    if name is not None:
+        get_backend(name)
+    _OVERRIDE = name
+
+
+@contextmanager
+def use_backend(name: str | None):
+    """Scoped override; ``None`` is a no-op passthrough.
+
+    Nests: the previous override is restored on exit, so a ``--kernel``
+    flag wrapped around an experiment never leaks into the next one.
+    """
+    global _OVERRIDE
+    if name is None:
+        yield active_backend()
+        return
+    get_backend(name)
+    prev = _OVERRIDE
+    _OVERRIDE = name
+    try:
+        yield _REGISTRY[name]
+    finally:
+        _OVERRIDE = prev

@@ -1,0 +1,167 @@
+"""Numba-compatible kernel bodies, written as plain Python array loops.
+
+These functions are the single source for two backends: the ``scalar``
+backend calls them undecorated (pure-Python reference semantics), and
+the ``numba`` backend wraps the very same functions in ``numba.njit``.
+That way the JIT code path is differentially tested even on hosts
+without numba installed — the algorithm under test is identical, only
+the execution engine differs.
+
+Constraints (so ``njit(nopython=True)`` accepts every function):
+arguments are NumPy arrays and Python scalars only, no Python objects,
+no closures, arithmetic stays in ``np.int64`` to dodge NEP-50 unsigned
+wraparound in the plain-Python runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cache_block_kernel",
+    "heap_push",
+    "heap_pop",
+    "dba_pack_kernel",
+    "dba_merge_kernel",
+]
+
+
+def cache_block_kernel(
+    tags, valid, dirty, lru, n_sets, line_shift, tick0, lines, writes, hits_out, wb_out
+):
+    """One ordered pass of ``lines`` over the (set, way) state planes.
+
+    Reproduces :meth:`SetAssociativeCache.access` per element: hit
+    updates LRU (+dirty on write); miss victimizes the first invalid
+    way by lowest index, else the LRU-minimum way with lowest-index
+    tie-break; evictions count only when the victim was valid, and a
+    dirty victim's line address lands in ``wb_out``.  Returns the
+    ``(hits, misses, evictions, writebacks)`` counter deltas.
+    """
+    ways = tags.shape[1]
+    hits = 0
+    misses = 0
+    evictions = 0
+    writebacks = 0
+    for i in range(lines.shape[0]):
+        line = lines[i]
+        s = line % n_sets
+        tag = line // n_sets
+        tick = tick0 + i + 1
+        hits_out[i] = False
+        wb_out[i] = -1
+        way = -1
+        for w in range(ways):
+            if valid[s, w] and tags[s, w] == tag:
+                way = w
+                break
+        if way >= 0:
+            hits += 1
+            hits_out[i] = True
+            lru[s, way] = tick
+            if writes[i]:
+                dirty[s, way] = True
+            continue
+        misses += 1
+        victim = -1
+        for w in range(ways):
+            if not valid[s, w]:
+                victim = w
+                break
+        if victim < 0:
+            victim = 0
+            best = lru[s, 0]
+            for w in range(1, ways):
+                if lru[s, w] < best:
+                    best = lru[s, w]
+                    victim = w
+            evictions += 1
+            if dirty[s, victim]:
+                wb_out[i] = ((tags[s, victim] * n_sets) + s) << line_shift
+                writebacks += 1
+        tags[s, victim] = tag
+        valid[s, victim] = True
+        dirty[s, victim] = writes[i]
+        lru[s, victim] = tick
+    return hits, misses, evictions, writebacks
+
+
+def heap_push(times, seqs, slots, n, t, s, slot):
+    """Place ``(t, s, slot)`` at index ``n`` and sift up.
+
+    Min-order on ``(time, seq)``; ``seq`` values are unique, so the pop
+    order of any correct heap matches ``heapq`` on ``(time, seq, item)``
+    tuples exactly.
+    """
+    times[n] = t
+    seqs[n] = s
+    slots[n] = slot
+    i = n
+    while i > 0:
+        parent = (i - 1) // 2
+        if times[i] < times[parent] or (
+            times[i] == times[parent] and seqs[i] < seqs[parent]
+        ):
+            times[i], times[parent] = times[parent], times[i]
+            seqs[i], seqs[parent] = seqs[parent], seqs[i]
+            slots[i], slots[parent] = slots[parent], slots[i]
+            i = parent
+        else:
+            break
+
+
+def heap_pop(times, seqs, slots, n):
+    """Pop the root of an ``n``-element heap; caller decrements ``n``."""
+    t = times[0]
+    s = seqs[0]
+    slot = slots[0]
+    last = n - 1
+    times[0] = times[last]
+    seqs[0] = seqs[last]
+    slots[0] = slots[last]
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= last:
+            break
+        child = left
+        right = left + 1
+        if right < last and (
+            times[right] < times[left]
+            or (times[right] == times[left] and seqs[right] < seqs[left])
+        ):
+            child = right
+        if times[child] < times[i] or (
+            times[child] == times[i] and seqs[child] < seqs[i]
+        ):
+            times[i], times[child] = times[child], times[i]
+            seqs[i], seqs[child] = seqs[child], seqs[i]
+            slots[i], slots[child] = slots[child], slots[i]
+            i = child
+        else:
+            break
+    return t, s, slot
+
+
+def dba_pack_kernel(words, n_bytes, out):
+    """Per-word byte extraction: low ``n_bytes`` bytes of each word."""
+    rows = words.shape[0]
+    per_line = words.shape[1]
+    for i in range(rows):
+        for j in range(per_line):
+            w = np.int64(words[i, j])
+            for b in range(n_bytes):
+                out[i, j * n_bytes + b] = (w >> (8 * b)) & 0xFF
+
+
+def dba_merge_kernel(stale_words, payload, n_bytes, mask, out):
+    """Per-word reset/shift/OR merge of a packed payload."""
+    rows = stale_words.shape[0]
+    per_line = stale_words.shape[1]
+    inv = 0xFFFFFFFF - mask
+    for i in range(rows):
+        for j in range(per_line):
+            low = np.int64(0)
+            for b in range(n_bytes):
+                low = low | (np.int64(payload[i, j * n_bytes + b]) << (8 * b))
+            out[i, j] = (np.int64(stale_words[i, j]) & inv) | (low & mask)

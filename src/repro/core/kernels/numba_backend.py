@@ -1,0 +1,139 @@
+"""The ``numba`` backend: JIT-compiled scalar loops, import-guarded.
+
+numba is an optional dependency (the ``repro[jit]`` extra).  When it is
+importable, the :mod:`repro.core.kernels.jitable` bodies are wrapped in
+``numba.njit`` lazily on first use (so merely registering the backend
+costs nothing).  When it is not, the backend warns once and delegates
+to the ``numpy`` backend — which is bit-exact by contract, so selecting
+``numba`` on a host without it degrades performance expectations only,
+never results.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.core.kernels import jitable
+from repro.core.kernels.base import ArrayEventHeap, KernelBackend, register_backend
+
+__all__ = ["NumbaBackend", "numba_available"]
+
+_AVAILABLE: bool | None = None
+
+
+def numba_available() -> bool:
+    """Whether numba imports on this host (cached after first check)."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            import numba  # noqa: F401
+
+            _AVAILABLE = True
+        except ImportError:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+class NumbaBackend(KernelBackend):
+    """JIT backend over the jitable loop bodies; numpy fallback without numba."""
+
+    name = "numba"
+
+    def __init__(self):
+        self._compiled: dict | None = None
+        self._warned = False
+
+    @property
+    def jit(self) -> bool:
+        """True when the compiled path is active (numba importable)."""
+        return numba_available()
+
+    def _fallback(self):
+        """The numpy backend, with a one-time notice that we degraded."""
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                "kernel backend 'numba' requested but numba is not "
+                "installed; falling back to the bit-identical 'numpy' "
+                "backend (pip install 'repro[jit]' for the JIT path)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        from repro.core.kernels.base import get_backend
+
+        return get_backend("numpy")
+
+    def _kernels(self) -> dict | None:
+        if not numba_available():
+            return None
+        if self._compiled is None:
+            from numba import njit
+
+            self._compiled = {
+                "cache_block": njit(cache=True)(jitable.cache_block_kernel),
+                "heap_push": njit(cache=True)(jitable.heap_push),
+                "heap_pop": njit(cache=True)(jitable.heap_pop),
+                "dba_pack": njit(cache=True)(jitable.dba_pack_kernel),
+                "dba_merge": njit(cache=True)(jitable.dba_merge_kernel),
+            }
+        return self._compiled
+
+    def cache_access_block(self, cache, addrs, writes, hits_out, wb_out):
+        """Compiled per-access loop mutating the cache planes in place."""
+        k = self._kernels()
+        if k is None:
+            return self._fallback().cache_access_block(
+                cache, addrs, writes, hits_out, wb_out
+            )
+        h, m, e, w = k["cache_block"](
+            cache._tags,
+            cache._valid,
+            cache._dirty,
+            cache._lru,
+            cache.n_sets,
+            cache._line_shift,
+            cache._tick,
+            addrs >> cache._line_shift,
+            np.ascontiguousarray(writes),
+            hits_out,
+            wb_out,
+        )
+        cache._tick += addrs.size
+        cache.stats.hits += int(h)
+        cache.stats.misses += int(m)
+        cache.stats.evictions += int(e)
+        cache.stats.writebacks += int(w)
+
+    def make_event_heap(self):
+        """Array heap driven by the compiled push/pop kernels."""
+        k = self._kernels()
+        if k is None:
+            return self._fallback().make_event_heap()
+        return ArrayEventHeap(k["heap_push"], k["heap_pop"])
+
+    def dba_pack(self, words, n_bytes):
+        """Compiled low-byte pack loop."""
+        k = self._kernels()
+        if k is None:
+            return self._fallback().dba_pack(words, n_bytes)
+        out = np.empty((words.shape[0], words.shape[1] * n_bytes), dtype=np.uint8)
+        k["dba_pack"](words, n_bytes, out)
+        return out
+
+    def dba_merge(self, stale_words, payload, n_bytes):
+        """Compiled merge loop over the stale words' low bytes."""
+        k = self._kernels()
+        if k is None:
+            return self._fallback().dba_merge(stale_words, payload, n_bytes)
+        from repro.utils.bits import low_byte_mask
+
+        out = np.empty(stale_words.shape, dtype=np.uint32)
+        k["dba_merge"](
+            stale_words, payload, n_bytes, int(low_byte_mask(n_bytes)), out
+        )
+        return out
+
+
+register_backend(NumbaBackend())

@@ -1,0 +1,55 @@
+"""The ``scalar`` reference backend: per-element Python loops.
+
+The cache kernel replays the stream through
+:meth:`SetAssociativeCache.access` one element at a time — the original
+scalar semantics, retained verbatim as the ground truth.  The heap and
+DBA kernels run the :mod:`repro.core.kernels.jitable` bodies
+undecorated, so the exact code the ``numba`` backend compiles is also
+the pure-Python reference the fuzz suite pins down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels import jitable
+from repro.core.kernels.base import ArrayEventHeap, KernelBackend, register_backend
+
+__all__ = ["ScalarBackend"]
+
+
+class ScalarBackend(KernelBackend):
+    """Per-element reference backend — the semantic ground truth."""
+
+    name = "scalar"
+
+    def cache_access_block(self, cache, addrs, writes, hits_out, wb_out):
+        """Replay the stream through ``cache.access`` one address at a time."""
+        for i in range(addrs.size):
+            r = cache.access(int(addrs[i]), bool(writes[i]))
+            hits_out[i] = r.hit
+            if r.writeback_address is not None:
+                wb_out[i] = r.writeback_address
+
+    def make_event_heap(self):
+        """Array heap driven by the undecorated jitable push/pop bodies."""
+        return ArrayEventHeap(jitable.heap_push, jitable.heap_pop)
+
+    def dba_pack(self, words, n_bytes):
+        """Pack the low ``n_bytes`` of each word via the jitable loop."""
+        out = np.empty((words.shape[0], words.shape[1] * n_bytes), dtype=np.uint8)
+        jitable.dba_pack_kernel(words, n_bytes, out)
+        return out
+
+    def dba_merge(self, stale_words, payload, n_bytes):
+        """Merge packed payload bytes over stale words via the jitable loop."""
+        from repro.utils.bits import low_byte_mask
+
+        out = np.empty(stale_words.shape, dtype=np.uint32)
+        jitable.dba_merge_kernel(
+            stale_words, payload, n_bytes, int(low_byte_mask(n_bytes)), out
+        )
+        return out
+
+
+register_backend(ScalarBackend())

@@ -1,0 +1,186 @@
+"""E-F10/F13 at full paper scale, fanned across parallel task shards.
+
+The registry's ``fig10``/``fig13`` entries default to reduced step
+counts so the smoke path stays fast.  This module registers the
+*full-size* runs — the paper's 1775 fine-tuning steps, DBA activation
+at step 500, and the Figure-13 sweep over (0, 100, 500, 1000, 1775) —
+and fans their independent cells (each a whole self-contained
+fine-tuning run) across worker processes with
+:func:`repro.sim.parallel.run_sharded_tasks`.
+
+Each cell is a top-level (picklable) function that builds its own
+memoized pre-trained setup, so a cell computes identically whether it
+runs inline (``shards=1``), in a forked pool worker, or interleaved
+with other cells — the reason result hashes are invariant under
+``--shards`` (pinned by ``exp_smoke.py`` and the parallel-DES tests).
+"""
+
+from __future__ import annotations
+
+from repro.dba import ActivationPolicy
+from repro.experiments.fig10 import Fig10Result, rows_from_result
+from repro.experiments.fig13 import mixed_speedup, render_fig13
+from repro.experiments.runner import finetune, pretrained_lm
+from repro.offload import TrainerMode
+from repro.sim.parallel import TaskShard, run_sharded_tasks
+
+__all__ = [
+    "FULL_STEPS",
+    "FULL_ACT_AFT",
+    "FULL_SWEEP",
+    "run_fig10_full",
+    "run_fig13_full",
+]
+
+#: The paper's GPT-2 fine-tuning run length (steps).
+FULL_STEPS = 1775
+#: The paper's default DBA activation point ("500 strikes a balance").
+FULL_ACT_AFT = 500
+#: Figure-13 activation sweep at full scale.
+FULL_SWEEP = (0, 100, 500, 1000, 1775)
+
+
+def _resolve_workers(shards, ctx=None):
+    """Worker budget: explicit param > ``ctx.shards`` > auto (``None``)."""
+    n = int(shards) or int(getattr(ctx, "shards", 0) or 0)
+    return n if n > 0 else None
+
+
+def _fig10_cell(mode_name, n_steps, act_aft_steps, seed, lr):
+    """One Figure-10 loss curve (baseline or TECO) as a sealed task."""
+    setup = pretrained_lm(seed=seed, finetune_batches=n_steps)
+    if mode_name == "baseline":
+        trainer = finetune(setup, TrainerMode.ZERO_OFFLOAD, lr=lr, seed=seed + 1)
+    else:
+        trainer = finetune(
+            setup,
+            TrainerMode.TECO_REDUCTION,
+            lr=lr,
+            seed=seed + 1,
+            policy=ActivationPolicy(act_aft_steps=act_aft_steps, dirty_bytes=2),
+        )
+    return trainer.loss_curve
+
+
+def run_fig10_full(
+    n_steps: int = FULL_STEPS,
+    act_aft_steps: int = FULL_ACT_AFT,
+    seed: int = 0,
+    lr: float = 5e-4,
+    workers: int | None = None,
+    kernel: str | None = None,
+) -> Fig10Result:
+    """Full-size Figure 10: baseline and TECO curves as two task shards."""
+    shards = [
+        TaskShard(
+            "baseline", _fig10_cell, ("baseline", n_steps, act_aft_steps, seed, lr)
+        ),
+        TaskShard("teco", _fig10_cell, ("teco", n_steps, act_aft_steps, seed, lr)),
+    ]
+    values = run_sharded_tasks(shards, workers=workers, kernel=kernel)
+    return Fig10Result(
+        baseline_curve=values["baseline"],
+        teco_curve=values["teco"],
+        act_aft_steps=act_aft_steps,
+    )
+
+
+def _fig13_cell(act, total_steps, paper_total_steps, seed):
+    """One Figure-13 sweep point (perplexity + modelled speedup)."""
+    setup = pretrained_lm(seed=seed, finetune_batches=total_steps)
+    trainer = finetune(
+        setup,
+        TrainerMode.TECO_REDUCTION,
+        seed=seed + 1,
+        policy=ActivationPolicy(act_aft_steps=act, dirty_bytes=2),
+    )
+    ppl = trainer.model.perplexity(setup.eval_batch)
+    paper_act = int(act / total_steps * paper_total_steps)
+    return {
+        "act_aft_steps": act,
+        "perplexity": ppl,
+        "speedup": mixed_speedup(paper_act, paper_total_steps),
+    }
+
+
+def run_fig13_full(
+    sweep: tuple[int, ...] = FULL_SWEEP,
+    total_steps: int = FULL_STEPS,
+    paper_total_steps: int = FULL_STEPS,
+    seed: int = 0,
+    workers: int | None = None,
+    kernel: str | None = None,
+) -> list[dict]:
+    """Full-size Figure 13: one task shard per activation point.
+
+    Rows come back in sweep order regardless of which worker finished
+    first — :func:`run_sharded_tasks` merges by key.
+    """
+    if any(not 0 <= s <= total_steps for s in sweep):
+        raise ValueError("sweep points must lie within the run")
+    shards = [
+        TaskShard(
+            f"act{act:05d}", _fig13_cell, (act, total_steps, paper_total_steps, seed)
+        )
+        for act in sweep
+    ]
+    values = run_sharded_tasks(shards, workers=workers, kernel=kernel)
+    return [values[f"act{act:05d}"] for act in sweep]
+
+
+# --- registry ------------------------------------------------------------
+
+from repro.experiments.registry import register, renderer
+
+
+@register(
+    "fig10_full",
+    "Figure 10 at full paper scale (1775 steps, sharded)",
+    tags=("figure", "functional", "full"),
+)
+def _fig10_full_experiment(
+    ctx, n_steps=FULL_STEPS, act_aft_steps=FULL_ACT_AFT, lr=5e-4, shards=0
+):
+    result = run_fig10_full(
+        n_steps=n_steps,
+        act_aft_steps=act_aft_steps,
+        seed=ctx.seed,
+        lr=lr,
+        workers=_resolve_workers(shards, ctx),
+        kernel=ctx.kernel,
+    )
+    return rows_from_result(result)
+
+
+@renderer("fig10_full")
+def _fig10_full_render(result):
+    from repro.experiments.fig10 import _fig10_render
+
+    return _fig10_render(result)
+
+
+@register(
+    "fig13_full",
+    "Figure 13 at full paper scale (1775-step sweep, sharded)",
+    tags=("figure", "functional", "timing", "full"),
+)
+def _fig13_full_experiment(
+    ctx,
+    sweep=FULL_SWEEP,
+    total_steps=FULL_STEPS,
+    paper_total_steps=FULL_STEPS,
+    shards=0,
+):
+    return run_fig13_full(
+        sweep=tuple(sweep),
+        total_steps=total_steps,
+        paper_total_steps=paper_total_steps,
+        seed=ctx.seed,
+        workers=_resolve_workers(shards, ctx),
+        kernel=ctx.kernel,
+    )
+
+
+@renderer("fig13_full")
+def _fig13_full_render(result):
+    return render_fig13(result.rows)

@@ -1,0 +1,426 @@
+"""Conservative-lookahead parallel DES over independent event shards.
+
+The sequential :class:`~repro.sim.engine.Simulator` is the floor for
+every experiment once the array kernels are fast; this module shards a
+simulation whose event streams are *independent* — per-link, per-tenant,
+per-layer-group — across worker processes:
+
+* each shard owns a private ``Simulator`` (built by the shard's
+  ``build`` callback) in one worker process;
+* workers advance in synchronized *time windows*: the parent gathers
+  every shard's next-event time, sets the horizon to ``min(peeks) +
+  lookahead`` (the conservative-lookahead barrier; the default lookahead
+  is the paper's CXL link latency — the minimum latency any cross-shard
+  interaction would have to traverse), and all workers run up to it;
+* spans, metrics counters and per-shard outcomes merge
+  deterministically — sorted by shard key, never by arrival order.
+
+Correctness precondition: shards must not interact.  Under that
+precondition every shard's event timing is identical whether its
+processes run on a private simulator or co-scheduled on one shared
+sequential ``Simulator``, so ``workers=1`` (the sequential fallback,
+which runs the very same windowed loop in-process) and ``workers=N``
+produce bit-identical outcomes — the property the Hypothesis suite in
+``tests/test_parallel_des.py`` pins down, and why experiment result
+hashes are invariant under ``--shards``.
+
+There are two shard flavours:
+
+:class:`SimShard`
+    A DES event stream: ``build(sim, *args)`` registers processes on a
+    fresh simulator and may return a zero-arg ``finalize()`` producing
+    the shard's (picklable) result value.
+:class:`TaskShard`
+    A run-to-completion callable (``fn(*args) -> value``) — the
+    degenerate shard with infinite lookahead, used to fan whole
+    self-contained simulations (e.g. one fig13 sweep point) across
+    workers via :func:`run_sharded_tasks`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time as _time
+import traceback
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SimShard",
+    "TaskShard",
+    "ShardOutcome",
+    "ParallelResult",
+    "run_shards",
+    "run_sharded_tasks",
+    "default_lookahead",
+    "usable_cpus",
+]
+
+
+def usable_cpus() -> int:
+    """CPUs this process may schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def default_lookahead() -> float:
+    """The conservative lookahead: the paper-default CXL link latency.
+
+    Any cross-shard interaction would have to cross at least one CXL
+    hop, so events within ``lookahead`` of the global minimum are safe
+    to process without hearing from other shards.
+    """
+    from repro.interconnect.cxl import CXLLinkModel
+
+    return float(CXLLinkModel.paper_default().latency)
+
+
+@dataclass(frozen=True)
+class SimShard:
+    """One independent event stream.
+
+    ``build(sim, *args)`` must register the shard's processes on the
+    fresh ``sim`` and may return a zero-arg callable producing the
+    shard's picklable result value after the stream drains.
+    """
+
+    key: str
+    build: Callable
+    args: tuple = ()
+
+
+@dataclass(frozen=True)
+class TaskShard:
+    """A self-contained run-to-completion unit (``fn(*args) -> value``)."""
+
+    key: str
+    fn: Callable
+    args: tuple = ()
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's merged contribution."""
+
+    key: str
+    value: object = None
+    end_time: float = 0.0
+    n_events: int = 0
+    #: Per-event delivery times (only with ``record_events=True``).
+    events: list | None = None
+    #: Metrics counter snapshot (only with ``metrics=True``).
+    counters: dict = field(default_factory=dict)
+    #: Tracer span records (only with ``profile=True``).
+    spans: list | None = None
+
+
+@dataclass
+class ParallelResult:
+    """Deterministically merged outcome of a sharded run."""
+
+    outcomes: list[ShardOutcome]  # sorted by shard key
+    workers: int = 1
+    windows: int = 0
+    lookahead: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def results(self) -> dict:
+        """Shard values keyed by shard key."""
+        return {o.key: o.value for o in self.outcomes}
+
+    @property
+    def end_time(self) -> float:
+        """Virtual end time: the max over shard simulators."""
+        return max((o.end_time for o in self.outcomes), default=0.0)
+
+    @property
+    def total_events(self) -> int:
+        """Engine events processed, summed across all shards."""
+        return sum(o.n_events for o in self.outcomes)
+
+    @property
+    def counters(self) -> dict:
+        """Metrics counters summed across shards in key order."""
+        merged: dict = {}
+        for o in self.outcomes:  # outcomes already sorted by key
+            for name in sorted(o.counters):
+                merged[name] = merged.get(name, 0) + o.counters[name]
+        return merged
+
+    def merged_events(self) -> list[tuple[float, str, int]]:
+        """Canonical global delivery order: ``(time, shard key, index)``.
+
+        This is the deterministic merge the parallel/sequential
+        equivalence tests compare — identical for any shard-to-worker
+        assignment and any worker count.
+        """
+        out: list[tuple[float, str, int]] = []
+        for o in self.outcomes:
+            if o.events:
+                out.extend((t, o.key, i) for i, t in enumerate(o.events))
+        out.sort()
+        return out
+
+
+# -- per-worker shard execution ---------------------------------------------
+
+
+class _ShardRunner:
+    """Owns one worker's shards; used in-process for the sequential path."""
+
+    def __init__(self, shards, record_events, metrics, profile):
+        from repro.sim.engine import Simulator
+
+        self.entries = []
+        for shard in shards:
+            tracer = met = None
+            if profile or metrics:
+                from repro.obs import Metrics, Tracer
+
+                tracer = Tracer(default_pid=f"shard:{shard.key}") if profile else None
+                met = Metrics() if metrics else None
+            sim = Simulator(tracer=tracer, metrics=met)
+            finalize = shard.build(sim, *shard.args)
+            log: list[float] | None = [] if record_events else None
+            self.entries.append((shard, sim, finalize, log))
+
+    def peek(self) -> float:
+        return min((sim.peek() for _, sim, _, _ in self.entries), default=float("inf"))
+
+    def window(self, horizon: float) -> float:
+        """Advance every shard to ``horizon``; returns the new min peek."""
+        for _, sim, _, log in self.entries:
+            if log is None:
+                sim.run(horizon)
+            else:
+                while sim.peek() <= horizon:
+                    log.append(sim.peek())
+                    sim.step()
+                sim.now = max(sim.now, horizon)
+        return self.peek()
+
+    def finish(self, until: float | None) -> list[ShardOutcome]:
+        from repro.obs import NULL_METRICS, NULL_TRACER
+
+        out = []
+        for shard, sim, finalize, log in self.entries:
+            if until is not None:
+                sim.run(until)  # clamp now; all events <= until already ran
+            value = finalize() if finalize is not None else None
+            counters = (
+                sim.metrics.counters() if sim.metrics is not NULL_METRICS else {}
+            )
+            spans = list(sim.tracer.spans) if sim.tracer is not NULL_TRACER else None
+            out.append(
+                ShardOutcome(
+                    key=shard.key,
+                    value=value,
+                    end_time=sim.now,
+                    n_events=len(log) if log is not None else sim._seq,
+                    events=log,
+                    counters=counters,
+                    spans=spans,
+                )
+            )
+        return out
+
+
+def _worker_main(conn, shards, kernel, record_events, metrics, profile):
+    """Child-process loop: build, serve window barriers, then finish."""
+    from repro.core.kernels import use_backend
+
+    try:
+        with use_backend(kernel):
+            runner = _ShardRunner(shards, record_events, metrics, profile)
+            conn.send(("peek", runner.peek()))
+            while True:
+                msg = conn.recv()
+                if msg[0] == "window":
+                    conn.send(("peek", runner.window(msg[1])))
+                elif msg[0] == "finish":
+                    conn.send(("done", runner.finish(msg[1])))
+                    return
+                else:  # pragma: no cover - protocol guard
+                    raise RuntimeError(f"unknown message {msg[0]!r}")
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def run_shards(
+    shards,
+    *,
+    workers: int | None = None,
+    lookahead: float | None = None,
+    until: float | None = None,
+    kernel: str | None = None,
+    record_events: bool = False,
+    metrics: bool = False,
+    profile: bool = False,
+) -> ParallelResult:
+    """Run independent :class:`SimShard` streams, possibly in parallel.
+
+    Parameters
+    ----------
+    shards
+        :class:`SimShard` list with unique keys.
+    workers
+        Worker processes; ``None`` picks ``min(len(shards), CPUs)``,
+        ``1`` is the in-process sequential fallback (same windowed
+        loop, bit-identical outcomes).
+    lookahead
+        Conservative lookahead in sim-seconds (``None`` =
+        :func:`default_lookahead`).  Must be >= 0; progress is
+        guaranteed even at 0 because each window always covers the
+        global minimum next-event time.
+    until
+        Stop the virtual clocks at this time (as ``Simulator.run``).
+    kernel
+        Kernel backend name applied in every worker (``None`` inherits
+        the active backend via the ``REPRO_KERNEL`` environment).
+    record_events, metrics, profile
+        Capture per-shard delivery times / counter snapshots / tracer
+        spans in the outcomes.
+    """
+    shards = list(shards)
+    keys = [s.key for s in shards]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"shard keys must be unique, got {keys}")
+    if lookahead is None:
+        lookahead = default_lookahead()
+    if lookahead < 0:
+        raise ValueError("lookahead must be non-negative")
+    if workers is None:
+        workers = min(len(shards), usable_cpus()) or 1
+    workers = max(1, min(int(workers), len(shards) or 1))
+
+    t0 = _time.perf_counter()
+    if not shards:
+        return ParallelResult(outcomes=[], workers=workers, lookahead=lookahead)
+
+    if workers == 1:
+        from repro.core.kernels import use_backend
+
+        with use_backend(kernel):
+            runner = _ShardRunner(shards, record_events, metrics, profile)
+            windows = 0
+            peek = runner.peek()
+            while peek != float("inf") and (until is None or peek <= until):
+                horizon = peek + lookahead
+                if until is not None:
+                    horizon = min(horizon, until)
+                peek = runner.window(horizon)
+                windows += 1
+            outcomes = runner.finish(until)
+        outcomes.sort(key=lambda o: o.key)
+        return ParallelResult(
+            outcomes=outcomes,
+            workers=1,
+            windows=windows,
+            lookahead=lookahead,
+            wall_seconds=_time.perf_counter() - t0,
+        )
+
+    # Deterministic round-robin assignment; results are invariant to it.
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+    assignment = [shards[w::workers] for w in range(workers)]
+    procs, conns = [], []
+    try:
+        for part in assignment:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, part, kernel, record_events, metrics, profile),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            procs.append(proc)
+            conns.append(parent)
+
+        def gather() -> list:
+            msgs = []
+            for conn in conns:
+                kind, payload = conn.recv()
+                if kind == "error":
+                    raise RuntimeError(f"parallel DES worker failed:\n{payload}")
+                msgs.append(payload)
+            return msgs
+
+        peeks = gather()
+        windows = 0
+        while True:
+            peek = min(peeks)
+            if peek == float("inf") or (until is not None and peek > until):
+                break
+            horizon = peek + lookahead
+            if until is not None:
+                horizon = min(horizon, until)
+            for conn in conns:
+                conn.send(("window", horizon))
+            peeks = gather()
+            windows += 1
+        for conn in conns:
+            conn.send(("finish", until))
+        outcome_lists = gather()
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=30.0)
+            if proc.is_alive():  # pragma: no cover - hang guard
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    outcomes = [o for part in outcome_lists for o in part]
+    outcomes.sort(key=lambda o: o.key)
+    return ParallelResult(
+        outcomes=outcomes,
+        workers=workers,
+        windows=windows,
+        lookahead=lookahead,
+        wall_seconds=_time.perf_counter() - t0,
+    )
+
+
+def _run_task(args):
+    """Top-level (picklable) TaskShard body."""
+    key, fn, fn_args, kernel = args
+    from repro.core.kernels import use_backend
+
+    with use_backend(kernel):
+        return key, fn(*fn_args)
+
+
+def run_sharded_tasks(
+    shards,
+    *,
+    workers: int | None = None,
+    kernel: str | None = None,
+) -> dict:
+    """Fan :class:`TaskShard` units across workers; returns key -> value.
+
+    The degenerate parallel-DES case (each shard is a whole
+    self-contained simulation, lookahead effectively infinite): results
+    are keyed, so the merge is deterministic regardless of completion
+    order, and ``workers=1`` runs inline with no process pool at all.
+    """
+    shards = list(shards)
+    keys = [s.key for s in shards]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"shard keys must be unique, got {keys}")
+    if workers is None:
+        workers = min(len(shards), usable_cpus()) or 1
+    workers = max(1, min(int(workers), len(shards) or 1))
+    payload = [(s.key, s.fn, s.args, kernel) for s in shards]
+    if workers == 1:
+        return dict(_run_task(p) for p in payload)
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return dict(pool.map(_run_task, payload))

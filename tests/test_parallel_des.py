@@ -1,0 +1,251 @@
+"""Sequential/parallel equivalence of the sharded DES core.
+
+The contract of :mod:`repro.sim.parallel`: for shards that do not
+interact, the conservative-lookahead windowed run delivers every event
+at exactly the time a single co-scheduled sequential
+:class:`~repro.sim.engine.Simulator` would — for ANY shard order, any
+worker count and any lookahead.  That property is what lets experiment
+result hashes stay invariant under ``--shards``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.parallel import (
+    ParallelResult,
+    SimShard,
+    TaskShard,
+    default_lookahead,
+    run_sharded_tasks,
+    run_shards,
+)
+
+# --- workloads (module-level: shard builds must pickle to fork workers) ---
+
+
+def build_timeout_chain(sim, seed, n):
+    """A process delivering ``n`` pseudo-random timeouts; finalize
+    returns the delivery times."""
+    delays = np.random.default_rng(seed).random(n)
+    delivered = []
+
+    def proc():
+        for d in delays:
+            yield sim.timeout(float(d))
+            delivered.append(sim.now)
+
+    sim.process(proc())
+    return lambda: list(delivered)
+
+
+def build_link_traffic(sim, seed, n):
+    """``n`` serialized transfers over a private link; finalize returns
+    (delivery time, bytes) pairs plus the link's occupancy counters."""
+    from repro.sim.resources import SerialLink
+    from repro.utils.units import Bandwidth
+
+    rng = np.random.default_rng(seed)
+    link = SerialLink(sim, bandwidth=Bandwidth(8e9), latency=1e-6)
+    done = []
+
+    def proc():
+        for size in rng.integers(64, 4096, n):
+            yield link.transmit(int(size))
+            done.append((sim.now, int(size)))
+
+    sim.process(proc())
+    return lambda: (list(done), link.busy_time, link.bytes_sent)
+
+
+def _exploding_build(sim):
+    raise ValueError("bad shard build")
+
+
+def _reference_delivery(specs):
+    """Ground truth: all shards co-scheduled on ONE sequential simulator,
+    merged canonically as (time, key, per-shard index)."""
+    sim = Simulator()
+    logs = {}
+    for key, seed, n in specs:
+        delays = np.random.default_rng(seed).random(n)
+        logs[key] = []
+
+        def proc(delays=delays, log=logs[key]):
+            for d in delays:
+                yield sim.timeout(float(d))
+                log.append(sim.now)
+
+        sim.process(proc())
+    sim.run()
+    merged = [
+        (t, key, i) for key, log in logs.items() for i, t in enumerate(log)
+    ]
+    merged.sort()
+    return merged, {k: v for k, v in logs.items()}
+
+
+def _shards(specs):
+    return [SimShard(key, build_timeout_chain, (seed, n)) for key, seed, n in specs]
+
+
+SPEC_STRATEGY = st.lists(
+    st.tuples(st.integers(0, 10_000), st.integers(0, 12)),
+    min_size=1,
+    max_size=5,
+).map(lambda lst: [(f"s{i:02d}", seed, n) for i, (seed, n) in enumerate(lst)])
+
+
+class TestSequentialEquivalence:
+    @given(specs=SPEC_STRATEGY, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_any_shard_assignment_matches_sequential(self, specs, data):
+        """Hypothesis property: per-shard delivery times == the single
+        co-scheduled-simulator reference, and the canonical event merge
+        is invariant to shard permutation and lookahead choice."""
+        _, ref_logs = _reference_delivery(specs)
+        ref = run_shards(_shards(specs), workers=1, record_events=True)
+        assert ref.results == ref_logs
+
+        order = data.draw(st.permutations(specs))
+        lookahead = data.draw(
+            st.sampled_from([0.0, 1e-9, default_lookahead(), 0.25, 10.0])
+        )
+        result = run_shards(
+            _shards(order), workers=1, lookahead=lookahead, record_events=True
+        )
+        assert result.merged_events() == ref.merged_events()
+        assert result.results == ref_logs
+
+    @given(specs=SPEC_STRATEGY)
+    @settings(max_examples=15, deadline=None)
+    def test_until_clamps_like_sequential_run(self, specs):
+        until = 1.5
+        ref = run_shards(_shards(specs), workers=1, record_events=True)
+        result = run_shards(
+            _shards(specs), workers=1, until=until, record_events=True
+        )
+        assert result.merged_events() == [
+            e for e in ref.merged_events() if e[0] <= until
+        ]
+        # finish() clamps every shard clock to exactly `until`.
+        assert result.end_time == until
+
+
+class TestWorkerCountInvariance:
+    def _run(self, workers, shard_order=1):
+        specs = [(f"s{i}", 40 + i, 30) for i in range(4)][::shard_order]
+        return run_shards(
+            [SimShard(k, build_link_traffic, (seed, n)) for k, seed, n in specs],
+            workers=workers,
+            record_events=True,
+        )
+
+    def test_one_two_and_three_workers_bit_identical(self):
+        ref = self._run(1)
+        for workers, order in [(2, 1), (3, -1)]:
+            got = self._run(workers, shard_order=order)
+            assert got.results == ref.results
+            assert got.merged_events() == ref.merged_events()
+            assert got.end_time == ref.end_time
+            assert got.total_events == ref.total_events
+            assert got.workers == workers
+
+    def test_kernel_backend_invariance(self):
+        ref = run_shards(
+            _shards([("a", 1, 20), ("b", 2, 20)]), workers=1,
+            kernel="numpy", record_events=True,
+        )
+        for kernel in ("scalar", "numba"):
+            got = run_shards(
+                _shards([("a", 1, 20), ("b", 2, 20)]), workers=1,
+                kernel=kernel, record_events=True,
+            )
+            assert got.merged_events() == ref.merged_events()
+            assert got.results == ref.results
+
+    def test_metrics_counters_merge_across_workers(self):
+        def build(sim, key):
+            def proc():
+                yield sim.timeout(0.5)
+                sim.metrics.counter(f"done.{key}").inc()
+                sim.metrics.counter("done.total").inc()
+
+            sim.process(proc())
+            return None
+
+        shards = [SimShard(f"m{i}", build, (f"m{i}",)) for i in range(3)]
+        seq = run_shards(shards, workers=1, metrics=True)
+        par = run_shards(shards, workers=3, metrics=True)
+        assert seq.counters == par.counters
+        assert seq.counters["done.total"] == 3
+
+
+class TestValidationAndEdges:
+    def test_duplicate_keys_rejected(self):
+        shards = _shards([("dup", 1, 3), ("dup", 2, 3)])
+        with pytest.raises(ValueError, match="unique"):
+            run_shards(shards, workers=1)
+
+    def test_negative_lookahead_rejected(self):
+        with pytest.raises(ValueError, match="lookahead"):
+            run_shards(_shards([("a", 1, 3)]), workers=1, lookahead=-1.0)
+
+    def test_empty_shard_list(self):
+        result = run_shards([], workers=1)
+        assert isinstance(result, ParallelResult)
+        assert result.outcomes == []
+        assert result.end_time == 0.0
+        assert result.total_events == 0
+
+    def test_zero_lookahead_makes_progress(self):
+        result = run_shards(
+            _shards([("a", 3, 10), ("b", 4, 10)]),
+            workers=1,
+            lookahead=0.0,
+            record_events=True,
+        )
+        # Every timeout delivered despite empty windows being possible.
+        assert [len(v) for v in result.results.values()] == [10, 10]
+        assert result.windows >= 1
+
+    def test_build_error_propagates_inline(self):
+        with pytest.raises(ValueError, match="bad shard build"):
+            run_shards([SimShard("x", _exploding_build)], workers=1)
+
+    def test_build_error_propagates_from_worker(self):
+        shards = [
+            SimShard("x", _exploding_build),
+            SimShard("y", build_timeout_chain, (1, 2)),
+        ]
+        with pytest.raises(RuntimeError, match="bad shard build"):
+            run_shards(shards, workers=2)
+
+
+def _square(x):
+    return x * x
+
+
+def _tag(key, value):
+    return {"key": key, "value": value}
+
+
+class TestShardedTasks:
+    def test_workers_one_and_two_identical(self):
+        shards = [TaskShard(f"t{i}", _square, (i,)) for i in range(5)]
+        seq = run_sharded_tasks(shards, workers=1)
+        par = run_sharded_tasks(shards, workers=2)
+        assert seq == par == {f"t{i}": i * i for i in range(5)}
+
+    def test_submission_order_irrelevant(self):
+        shards = [TaskShard(f"t{i}", _tag, (f"t{i}", i)) for i in range(4)]
+        fwd = run_sharded_tasks(shards, workers=2)
+        rev = run_sharded_tasks(list(reversed(shards)), workers=2)
+        assert fwd == rev
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            run_sharded_tasks([TaskShard("x", _square, (1,)),
+                               TaskShard("x", _square, (2,))])
